@@ -1,0 +1,74 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each ``test_fig*.py`` module regenerates one table or figure of the paper by
+running the corresponding experiment cells through the harness and printing
+the resulting series.  Cells are memoised here so that figures sharing runs
+(e.g. Figure 5 and Figure 6 report time and sub-iso speedups of the *same*
+experiments) only pay for them once per pytest session.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+from repro.bench.harness import ExperimentResult, run_baseline, run_experiment
+from repro.bench.scenarios import (
+    bench_config,
+    get_method,
+    type_a_workload,
+    type_b_workload,
+)
+from repro.methods.executor import QueryExecution
+
+__all__ = ["workload_by_label", "experiment_cell", "baseline_for", "WORKLOAD_LABELS"]
+
+#: The six workload groups used across the paper's figures.
+WORKLOAD_LABELS = ("ZZ", "ZU", "UU", "0%", "20%", "50%")
+
+
+def workload_by_label(dataset: str, label: str, alpha: float = 1.4):
+    """Type A labels are 'ZZ'/'ZU'/'UU'; Type B labels are '0%'/'20%'/'50%'."""
+    if label.endswith("%"):
+        probability = float(label.rstrip("%")) / 100.0
+        return type_b_workload(dataset, probability, alpha=alpha)
+    return type_a_workload(dataset, label, alpha=alpha)
+
+
+@lru_cache(maxsize=None)
+def baseline_for(dataset: str, method_name: str, label: str, alpha: float = 1.4) -> Tuple[QueryExecution, ...]:
+    """Memoised baseline run (plain Method M) for one dataset/method/workload."""
+    method = get_method(dataset, method_name)
+    workload = workload_by_label(dataset, label, alpha=alpha)
+    config = bench_config()
+    warmup = config.warmup_windows * config.window_size
+    return tuple(run_baseline(method, workload, warmup_queries=warmup))
+
+
+@lru_cache(maxsize=None)
+def experiment_cell(
+    dataset: str,
+    method_name: str,
+    label: str,
+    policy: str = "hd",
+    cache_capacity: int = 30,
+    window_size: int = 10,
+    admission_control: bool = False,
+    alpha: float = 1.4,
+) -> ExperimentResult:
+    """Memoised experiment cell: baseline vs GraphCache for one configuration."""
+    method = get_method(dataset, method_name)
+    workload = workload_by_label(dataset, label, alpha=alpha)
+    config = bench_config(
+        policy=policy,
+        cache_capacity=cache_capacity,
+        window_size=window_size,
+        admission_control=admission_control,
+    )
+    return run_experiment(
+        name=f"{dataset}/{method_name}/{label}",
+        method=method,
+        workload=workload,
+        config=config,
+        baseline_executions=baseline_for(dataset, method_name, label, alpha=alpha),
+    )

@@ -1,0 +1,19 @@
+"""Pytest configuration for the benchmark suite.
+
+The benchmarks live outside the unit-test tree and are meant to be run as::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark uses ``benchmark.pedantic(..., rounds=1)`` — the experiments
+inside are full workload runs (seconds each), so statistical repetition is
+neither needed nor affordable; the regenerated figure tables printed on
+stdout are the primary output.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make the sibling ``_shared`` helper importable regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

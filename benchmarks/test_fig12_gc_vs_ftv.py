@@ -1,0 +1,69 @@
+"""Figure 12 — GraphCache over a plain SI method pitched against a full FTV method.
+
+The paper's Figure 12 asks: if both an FTV index and GraphCache work by
+shrinking the candidate set, can GC on top of a *simple* SI method (VF2+)
+replace a full-blown FTV method (CT-Index, which also verifies with VF2+)?
+It reports the ratio of CT-Index's average query time to GC/VF2+'s average
+query time on AIDS and PDBS, Type A workloads, for the default and the large
+cache.
+
+Paper shape: with the small cache GC/VF2+ is competitive (on par or better in
+most cells); with the large cache it matches or outperforms CT-Index across
+the board — for a fraction of the space and with no pre-processing.
+"""
+
+from __future__ import annotations
+
+from _shared import experiment_cell
+
+from repro.bench.reporting import print_figure
+
+DATASETS = ("aids", "pdbs")
+WORKLOADS = ("ZZ", "ZU", "UU")
+CACHE_SIZES = (30, 150)
+
+
+def run_figure12():
+    series = {}
+    sizes = {}
+    for dataset in DATASETS:
+        for cache_capacity in CACHE_SIZES:
+            key = f"{dataset.upper()} c{cache_capacity}-b10"
+            values = {}
+            for label in WORKLOADS:
+                gc_over_vf2 = experiment_cell(
+                    dataset, "vf2plus", label, policy="hd", cache_capacity=cache_capacity
+                )
+                ctindex_alone = experiment_cell(dataset, "ctindex", label, policy="hd")
+                values[label] = (
+                    ctindex_alone.speedups.baseline.avg_time_s
+                    / max(1e-12, gc_over_vf2.speedups.cached.avg_time_s)
+                )
+                sizes[(dataset, cache_capacity)] = (
+                    gc_over_vf2.cache.cache_size_bytes(),
+                    ctindex_alone.cache.method.index_size_bytes(),
+                )
+            series[key] = values
+    return series, sizes
+
+
+def test_fig12_gc_vs_ctindex(benchmark):
+    series, sizes = benchmark.pedantic(run_figure12, rounds=1, iterations=1)
+    print_figure(
+        "Figure 12",
+        "GC over VF2+ vs CT-Index alone (ratio of CT-Index time to GC/VF2+ time)",
+        series,
+        note="values > 1 mean GraphCache over plain VF2+ beats the full FTV method",
+    )
+    for (dataset, cache_capacity), (gc_bytes, index_bytes) in sorted(sizes.items()):
+        print(
+            f"space: {dataset.upper()} c{cache_capacity} — GC ≈ {gc_bytes / 1024:.0f} KiB "
+            f"vs CT-Index index ≈ {index_bytes / 1024:.0f} KiB"
+        )
+    # Shape check: the larger cache is at least as competitive as the small one.
+    for dataset in DATASETS:
+        small = series[f"{dataset.upper()} c30-b10"]
+        large = series[f"{dataset.upper()} c150-b10"]
+        mean_small = sum(small.values()) / len(small)
+        mean_large = sum(large.values()) / len(large)
+        assert mean_large >= 0.8 * mean_small, (dataset, small, large)

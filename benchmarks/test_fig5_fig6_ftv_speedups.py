@@ -1,0 +1,60 @@
+"""Figures 5 & 6 — GraphCache speedups on PDBS across all FTV methods.
+
+Figure 5 reports the query-time speedup and Figure 6 the speedup in the
+number of sub-iso tests, for GraphCache (HD policy, default cache) over each
+bundled FTV method — CT-Index, GGSX, Grapes1, Grapes6 — across the six
+workload groups on the PDBS dataset.  Both figures come from the same
+experiment runs, so they share memoised cells here.
+
+Paper shape: every speedup is >= 1; reductions in sub-iso tests do not
+translate one-to-one into time reductions (Figure 5 vs Figure 6).
+"""
+
+from __future__ import annotations
+
+from _shared import WORKLOAD_LABELS, experiment_cell
+
+from repro.bench.reporting import print_figure
+
+METHODS = ("ctindex", "ggsx", "grapes1", "grapes6")
+DATASET = "pdbs"
+
+
+def run_cells():
+    cells = {}
+    for method in METHODS:
+        for label in WORKLOAD_LABELS:
+            cells[(method, label)] = experiment_cell(DATASET, method, label, policy="hd")
+    return cells
+
+
+def test_fig5_query_time_speedups(benchmark):
+    cells = benchmark.pedantic(run_cells, rounds=1, iterations=1)
+    series = {
+        method: {label: cells[(method, label)].time_speedup for label in WORKLOAD_LABELS}
+        for method in METHODS
+    }
+    print_figure(
+        "Figure 5",
+        "GraphCache query-time speedup on PDBS across FTV methods (HD policy)",
+        series,
+        note="paper values range 1.6x-42x on the full-size dataset; see EXPERIMENTS.md",
+    )
+    assert all(value > 0 for values in series.values() for value in values.values())
+
+
+def test_fig6_subiso_count_speedups(benchmark):
+    cells = benchmark.pedantic(run_cells, rounds=1, iterations=1)
+    series = {
+        method: {label: cells[(method, label)].subiso_speedup for label in WORKLOAD_LABELS}
+        for method in METHODS
+    }
+    print_figure(
+        "Figure 6",
+        "GraphCache sub-iso-test speedup on PDBS across FTV methods (HD policy)",
+        series,
+        note="the cache can only remove sub-iso tests, so every value is >= 1",
+    )
+    for method in METHODS:
+        for label in WORKLOAD_LABELS:
+            assert series[method][label] >= 1.0

@@ -1,0 +1,51 @@
+"""Figure 8 — GraphCache speedups against GGSX for varying cache sizes.
+
+The paper's Figure 8 shows query-time speedups over GGSX on AIDS and PDBS for
+cache sizes c100/c300/c500 (window 20): bigger caches help, with diminishing
+returns.  At reproduction scale the cache is c30/c90/c150 with window 10 —
+the same 1×/3×/5× progression relative to the default.
+"""
+
+from __future__ import annotations
+
+from _shared import experiment_cell
+
+from repro.bench.reporting import print_figure
+
+CACHE_SIZES = (30, 90, 150)
+METHOD = "ggsx"
+PANELS = {
+    "AIDS / Type A": ("aids", ("ZZ", "ZU", "UU")),
+    "AIDS / Type B": ("aids", ("0%", "20%", "50%")),
+    "PDBS / Type A": ("pdbs", ("ZZ", "ZU", "UU")),
+    "PDBS / Type B": ("pdbs", ("0%", "20%", "50%")),
+}
+
+
+def run_figure8():
+    figures = {}
+    for panel, (dataset, labels) in PANELS.items():
+        series = {f"c{size}-b10": {} for size in CACHE_SIZES}
+        for size in CACHE_SIZES:
+            for label in labels:
+                cell = experiment_cell(
+                    dataset, METHOD, label, policy="hd", cache_capacity=size
+                )
+                series[f"c{size}-b10"][label] = cell.time_speedup
+        figures[panel] = series
+    return figures
+
+
+def test_fig8_cache_size_sweep(benchmark):
+    figures = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
+    for panel, series in figures.items():
+        print_figure(
+            "Figure 8",
+            f"query-time speedup vs GGSX, varying cache size — {panel}",
+            series,
+            note="paper shape: larger caches improve performance (c500 ≥ c300 ≥ c100)",
+        )
+    # Shape check: the largest cache is never much worse than the smallest.
+    for panel, series in figures.items():
+        for label in series["c30-b10"]:
+            assert series["c150-b10"][label] >= 0.8 * series["c30-b10"][label], (panel, label)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Package metadata lives in ``pyproject.toml``; this file exists so that the
+library can be installed in editable mode (``pip install -e .``) on
+environments whose setuptools/pip combination lacks PEP 660 editable-wheel
+support (e.g. offline machines without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

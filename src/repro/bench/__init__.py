@@ -1,0 +1,27 @@
+"""Benchmark harness: experiment runner, metrics, reporting and scenarios."""
+
+from .harness import ExperimentResult, run_baseline, run_cached, run_experiment
+from .metrics import (
+    RunAggregate,
+    SpeedupReport,
+    aggregate_baseline,
+    aggregate_cached,
+    speedup,
+)
+from .reporting import format_series, format_table, print_figure, print_table
+
+__all__ = [
+    "ExperimentResult",
+    "run_baseline",
+    "run_cached",
+    "run_experiment",
+    "RunAggregate",
+    "SpeedupReport",
+    "aggregate_baseline",
+    "aggregate_cached",
+    "speedup",
+    "format_series",
+    "format_table",
+    "print_figure",
+    "print_table",
+]

@@ -1,0 +1,131 @@
+"""Benchmark metrics: per-run aggregates and speedup computation.
+
+The paper reports two headline metrics (§7.2):
+
+* **query-time speedup** — the ratio of Method M's average query time to
+  GraphCache-over-M's average query time;
+* **sub-iso-test speedup** — the same ratio for the average number of sub-iso
+  tests per query.
+
+Speedups greater than 1 mean GraphCache improves over the plain method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..methods.executor import QueryExecution
+from ..core.cache import CacheQueryResult
+
+__all__ = ["RunAggregate", "SpeedupReport", "aggregate_baseline", "aggregate_cached", "speedup"]
+
+
+@dataclass(frozen=True)
+class RunAggregate:
+    """Average per-query metrics of one workload run."""
+
+    query_count: int
+    avg_time_s: float
+    avg_subiso_tests: float
+    total_time_s: float
+    total_subiso_tests: int
+    avg_candidates: float
+    avg_answers: float
+    avg_maintenance_s: float = 0.0
+    cache_hit_rate: float = 0.0
+    exact_hits: int = 0
+    empty_shortcuts: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to a plain dictionary for reports."""
+        return {
+            "query_count": self.query_count,
+            "avg_time_s": self.avg_time_s,
+            "avg_subiso_tests": self.avg_subiso_tests,
+            "total_time_s": self.total_time_s,
+            "total_subiso_tests": self.total_subiso_tests,
+            "avg_candidates": self.avg_candidates,
+            "avg_answers": self.avg_answers,
+            "avg_maintenance_s": self.avg_maintenance_s,
+            "cache_hit_rate": self.cache_hit_rate,
+            "exact_hits": self.exact_hits,
+            "empty_shortcuts": self.empty_shortcuts,
+        }
+
+
+@dataclass(frozen=True)
+class SpeedupReport:
+    """Speedups of GraphCache over the plain method for one experiment cell."""
+
+    time_speedup: float
+    subiso_speedup: float
+    baseline: RunAggregate
+    cached: RunAggregate
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to a plain dictionary for reports."""
+        return {
+            "time_speedup": self.time_speedup,
+            "subiso_speedup": self.subiso_speedup,
+            "baseline_avg_time_s": self.baseline.avg_time_s,
+            "cached_avg_time_s": self.cached.avg_time_s,
+            "baseline_avg_subiso": self.baseline.avg_subiso_tests,
+            "cached_avg_subiso": self.cached.avg_subiso_tests,
+        }
+
+
+def aggregate_baseline(executions: Sequence[QueryExecution]) -> RunAggregate:
+    """Aggregate the per-query records of a baseline (no cache) run."""
+    if not executions:
+        raise ValueError("cannot aggregate an empty run")
+    count = len(executions)
+    total_time = sum(execution.total_time_s for execution in executions)
+    total_tests = sum(execution.subiso_tests for execution in executions)
+    return RunAggregate(
+        query_count=count,
+        avg_time_s=total_time / count,
+        avg_subiso_tests=total_tests / count,
+        total_time_s=total_time,
+        total_subiso_tests=total_tests,
+        avg_candidates=sum(len(e.candidate_ids) for e in executions) / count,
+        avg_answers=sum(len(e.answer_ids) for e in executions) / count,
+    )
+
+
+def aggregate_cached(results: Sequence[CacheQueryResult]) -> RunAggregate:
+    """Aggregate the per-query records of a GraphCache run."""
+    if not results:
+        raise ValueError("cannot aggregate an empty run")
+    count = len(results)
+    total_time = sum(result.total_time_s for result in results)
+    total_tests = sum(result.subiso_tests for result in results)
+    return RunAggregate(
+        query_count=count,
+        avg_time_s=total_time / count,
+        avg_subiso_tests=total_tests / count,
+        total_time_s=total_time,
+        total_subiso_tests=total_tests,
+        avg_candidates=sum(r.final_candidates for r in results) / count,
+        avg_answers=sum(len(r.answer_ids) for r in results) / count,
+        avg_maintenance_s=sum(r.maintenance_time_s for r in results) / count,
+        cache_hit_rate=sum(1 for r in results if r.cache_hit) / count,
+        exact_hits=sum(1 for r in results if r.shortcut == "exact"),
+        empty_shortcuts=sum(1 for r in results if r.shortcut == "empty"),
+    )
+
+
+def speedup(baseline: RunAggregate, cached: RunAggregate) -> SpeedupReport:
+    """Compute the paper's speedup metrics from two aggregated runs."""
+
+    def ratio(reference: float, observed: float) -> float:
+        if observed <= 0.0:
+            return float("inf") if reference > 0.0 else 1.0
+        return reference / observed
+
+    return SpeedupReport(
+        time_speedup=ratio(baseline.avg_time_s, cached.avg_time_s),
+        subiso_speedup=ratio(baseline.avg_subiso_tests, cached.avg_subiso_tests),
+        baseline=baseline,
+        cached=cached,
+    )

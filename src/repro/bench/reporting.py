@@ -1,0 +1,76 @@
+"""Plain-text reporting of experiment results (the "figure" tables).
+
+The paper's figures are bar charts of speedups; the benchmark harness prints
+the same numbers as aligned text tables so that a run of
+``pytest benchmarks/ --benchmark-only`` regenerates every figure's series in
+the terminal (and, through ``tee``, in ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "print_table", "format_series", "print_figure"]
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Format dictionaries as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    body = [
+        " | ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        for row in rows
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def print_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> None:
+    """Print an aligned text table with an optional title."""
+    if title:
+        print(f"\n== {title} ==")
+    print(format_table(rows, columns))
+
+
+def format_series(series: Dict[str, Dict[str, float]], value_format: str = "{:.2f}") -> str:
+    """Format ``{series name: {x label: value}}`` as a table with one row per series."""
+    if not series:
+        return "(no series)"
+    x_labels: List[str] = []
+    for values in series.values():
+        for label in values:
+            if label not in x_labels:
+                x_labels.append(label)
+    rows = []
+    for name, values in series.items():
+        row: Dict[str, object] = {"series": name}
+        for label in x_labels:
+            value = values.get(label)
+            row[label] = value_format.format(value) if value is not None else "-"
+        rows.append(row)
+    return format_table(rows, columns=["series", *x_labels])
+
+
+def print_figure(
+    figure: str,
+    description: str,
+    series: Dict[str, Dict[str, float]],
+    note: str | None = None,
+) -> None:
+    """Print one reproduced figure: a header, the series table and an optional note."""
+    print(f"\n=== {figure}: {description} ===")
+    print(format_series(series))
+    if note:
+        print(f"note: {note}")

@@ -1,0 +1,7 @@
+"""Allow ``python -m repro.cli``."""
+
+import sys
+
+from .main import main
+
+sys.exit(main())

@@ -1,0 +1,239 @@
+"""Command-line interface for the GraphCache reproduction.
+
+The CLI exposes the workflows a downstream user needs most often without
+writing Python:
+
+* ``graphcache info`` — list bundled datasets, methods, matchers and policies;
+* ``graphcache dataset`` — generate a stand-in dataset, print its statistics,
+  optionally save it in transaction format;
+* ``graphcache workload`` — generate a Type A or Type B workload from a
+  dataset and save it;
+* ``graphcache run`` — run one experiment (plain Method M vs GraphCache) and
+  print the speedup report;
+* ``graphcache policies`` — compare the five replacement policies on one
+  configuration (a one-command miniature of the paper's Figure 4).
+
+Every command accepts ``--seed`` so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..bench.harness import run_baseline, run_experiment
+from ..bench.metrics import aggregate_baseline, aggregate_cached, speedup
+from ..bench.reporting import format_table
+from ..core.cache import GraphCache
+from ..core.config import GraphCacheConfig
+from ..core.replacement import available_policies
+from ..graphs.generators import DATASET_FACTORIES, dataset_by_name
+from ..graphs.io import load_dataset, save_dataset
+from ..isomorphism.registry import available_matchers
+from ..methods.registry import available_methods, method_by_name
+from ..workloads.io import load_workload, save_workload
+from ..workloads.type_a import SMALL_DATASET_QUERY_SIZES, TypeAWorkloadGenerator
+from ..workloads.type_b import QueryPools, TypeBWorkloadGenerator
+
+__all__ = ["main", "build_parser"]
+
+
+# --------------------------------------------------------------------------- #
+# Argument parsing
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="graphcache",
+        description="GraphCache (EDBT 2017) reproduction command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # info ------------------------------------------------------------------ #
+    subparsers.add_parser("info", help="list bundled datasets, methods, matchers and policies")
+
+    # dataset --------------------------------------------------------------- #
+    dataset = subparsers.add_parser("dataset", help="generate a stand-in dataset")
+    dataset.add_argument("name", choices=sorted(DATASET_FACTORIES), help="dataset family")
+    dataset.add_argument("--scale", type=float, default=1.0, help="size multiplier (default 1.0)")
+    dataset.add_argument("--seed", type=int, default=None, help="generation seed")
+    dataset.add_argument("--output", type=Path, default=None, help="save in transaction format")
+
+    # workload --------------------------------------------------------------- #
+    workload = subparsers.add_parser("workload", help="generate a query workload")
+    workload.add_argument("dataset", choices=sorted(DATASET_FACTORIES), help="dataset family")
+    workload.add_argument("--scale", type=float, default=1.0, help="dataset size multiplier")
+    workload.add_argument("--kind", choices=["ZZ", "ZU", "UU", "B"], default="ZZ",
+                          help="Type A category or 'B' for a Type B workload")
+    workload.add_argument("--queries", type=int, default=200, help="number of queries")
+    workload.add_argument("--sizes", type=int, nargs="+", default=list(SMALL_DATASET_QUERY_SIZES),
+                          help="query sizes in edges")
+    workload.add_argument("--alpha", type=float, default=1.4, help="Zipf skew parameter")
+    workload.add_argument("--no-answer", type=float, default=0.2,
+                          help="Type B only: probability of a no-answer query")
+    workload.add_argument("--seed", type=int, default=0, help="generation seed")
+    workload.add_argument("--output", type=Path, required=True, help="output file (.queries)")
+
+    # run --------------------------------------------------------------------- #
+    run = subparsers.add_parser("run", help="run one experiment (Method M vs GraphCache)")
+    _add_experiment_arguments(run)
+    run.add_argument("--policy", choices=available_policies(), default="hd",
+                     help="cache replacement policy")
+
+    # policies ----------------------------------------------------------------- #
+    policies = subparsers.add_parser(
+        "policies", help="compare all replacement policies on one configuration"
+    )
+    _add_experiment_arguments(policies)
+
+    return parser
+
+
+def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("dataset", choices=sorted(DATASET_FACTORIES), help="dataset family")
+    parser.add_argument("--scale", type=float, default=0.5, help="dataset size multiplier")
+    parser.add_argument("--method", choices=available_methods(), default="ggsx",
+                        help="Method M to expedite")
+    parser.add_argument("--workload", type=Path, default=None,
+                        help="workload file produced by 'graphcache workload' "
+                             "(generated on the fly when omitted)")
+    parser.add_argument("--kind", choices=["ZZ", "ZU", "UU"], default="ZZ",
+                        help="Type A category used when no workload file is given")
+    parser.add_argument("--queries", type=int, default=150, help="number of queries")
+    parser.add_argument("--alpha", type=float, default=1.4, help="Zipf skew parameter")
+    parser.add_argument("--cache-size", type=int, default=30, help="cache capacity")
+    parser.add_argument("--window-size", type=int, default=10, help="window size")
+    parser.add_argument("--admission-control", action="store_true",
+                        help="enable the expensiveness-based admission filter")
+    parser.add_argument("--seed", type=int, default=0, help="generation seed")
+
+
+# --------------------------------------------------------------------------- #
+# Subcommand implementations
+# --------------------------------------------------------------------------- #
+def _command_info(_: argparse.Namespace) -> int:
+    print("datasets :", ", ".join(sorted(DATASET_FACTORIES)))
+    print("methods  :", ", ".join(available_methods()))
+    print("matchers :", ", ".join(available_matchers()))
+    print("policies :", ", ".join(available_policies()))
+    return 0
+
+
+def _command_dataset(args: argparse.Namespace) -> int:
+    dataset = dataset_by_name(args.name, scale=args.scale, seed=args.seed)
+    stats = dataset.statistics()
+    rows = [{"statistic": key, "value": round(value, 3) if isinstance(value, float) else value}
+            for key, value in stats.as_dict().items()]
+    print(format_table(rows))
+    if args.output is not None:
+        save_dataset(dataset, args.output)
+        print(f"saved {len(dataset)} graphs to {args.output}")
+    return 0
+
+
+def _command_workload(args: argparse.Namespace) -> int:
+    dataset = dataset_by_name(args.dataset, scale=args.scale, seed=args.seed)
+    if args.kind == "B":
+        pools = QueryPools(
+            dataset,
+            query_sizes=tuple(args.sizes),
+            answer_pool_size=max(20, args.queries // 3),
+            no_answer_pool_size=max(8, args.queries // 10),
+            seed=args.seed,
+        )
+        generator = TypeBWorkloadGenerator(
+            pools, no_answer_probability=args.no_answer, alpha=args.alpha, seed=args.seed
+        )
+        workload = generator.generate(args.queries, dataset_name=dataset.name)
+    else:
+        generator = TypeAWorkloadGenerator(
+            dataset,
+            category=args.kind,
+            query_sizes=tuple(args.sizes),
+            alpha=args.alpha,
+            seed=args.seed,
+        )
+        workload = generator.generate(args.queries)
+    save_workload(workload, args.output)
+    print(f"saved workload {workload.describe()} to {args.output}")
+    return 0
+
+
+def _build_experiment(args: argparse.Namespace):
+    dataset = dataset_by_name(args.dataset, scale=args.scale, seed=args.seed)
+    method = method_by_name(args.method, dataset)
+    if args.workload is not None:
+        workload = load_workload(args.workload)
+    else:
+        generator = TypeAWorkloadGenerator(
+            dataset,
+            category=args.kind,
+            query_sizes=SMALL_DATASET_QUERY_SIZES,
+            alpha=args.alpha,
+            seed=args.seed,
+        )
+        workload = generator.generate(args.queries)
+    return method, workload
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    method, workload = _build_experiment(args)
+    config = GraphCacheConfig(
+        cache_capacity=args.cache_size,
+        window_size=args.window_size,
+        replacement_policy=args.policy,
+        admission_control=args.admission_control,
+    )
+    result = run_experiment("cli-run", method, workload, config)
+    print(format_table([result.summary_row()]))
+    return 0
+
+
+def _command_policies(args: argparse.Namespace) -> int:
+    method, workload = _build_experiment(args)
+    warmup = args.window_size
+    baseline = run_baseline(method, workload, warmup_queries=warmup)
+    baseline_aggregate = aggregate_baseline(baseline)
+    rows = []
+    for policy in available_policies():
+        config = GraphCacheConfig(
+            cache_capacity=args.cache_size,
+            window_size=args.window_size,
+            replacement_policy=policy,
+            admission_control=args.admission_control,
+        )
+        cache = GraphCache(method, config)
+        results = [cache.query(query) for query in workload]
+        report = speedup(baseline_aggregate, aggregate_cached(results[warmup:]))
+        rows.append(
+            {
+                "policy": policy.upper(),
+                "time speedup": round(report.time_speedup, 2),
+                "subiso speedup": round(report.subiso_speedup, 2),
+                "hit rate": round(report.cached.cache_hit_rate, 2),
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+_COMMANDS = {
+    "info": _command_info,
+    "dataset": _command_dataset,
+    "workload": _command_workload,
+    "run": _command_run,
+    "policies": _command_policies,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""GraphCache core: the paper's primary contribution."""
+
+from .adaptive_admission import AdaptiveAdmissionController
+from .admission import AdmissionController
+from .cache import CacheQueryResult, CacheRuntimeStatistics, GraphCache
+from .config import GraphCacheConfig
+from .persistence import load_cache, save_cache
+from .processors import CacheProcessors, ProcessorOutcome
+from .pruner import CandidateSetPruner, PruningResult
+from .query_index import QueryGraphIndex
+from .replacement import (
+    HybridPolicy,
+    LRUPolicy,
+    PINCPolicy,
+    PINPolicy,
+    POPPolicy,
+    ReplacementPolicy,
+    available_policies,
+    policy_by_name,
+    squared_coefficient_of_variation,
+)
+from .statistics import CachedQueryStats, StatisticsManager, TripletStore
+from .stores import CacheEntry, CacheStore, WindowEntry, WindowStore
+from .window import MaintenanceReport, WindowManager
+
+__all__ = [
+    "GraphCache",
+    "GraphCacheConfig",
+    "CacheQueryResult",
+    "CacheRuntimeStatistics",
+    "AdmissionController",
+    "AdaptiveAdmissionController",
+    "load_cache",
+    "save_cache",
+    "CacheProcessors",
+    "ProcessorOutcome",
+    "CandidateSetPruner",
+    "PruningResult",
+    "QueryGraphIndex",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "POPPolicy",
+    "PINPolicy",
+    "PINCPolicy",
+    "HybridPolicy",
+    "available_policies",
+    "policy_by_name",
+    "squared_coefficient_of_variation",
+    "CachedQueryStats",
+    "StatisticsManager",
+    "TripletStore",
+    "CacheEntry",
+    "CacheStore",
+    "WindowEntry",
+    "WindowStore",
+    "MaintenanceReport",
+    "WindowManager",
+]

@@ -1,0 +1,371 @@
+"""GraphCache: the semantic cache front end for subgraph/supergraph queries.
+
+:class:`GraphCache` wraps any :class:`~repro.methods.base.Method` ("Method M",
+an FTV method or an SI method) and answers the same queries faster by reusing
+the answer sets of previously executed queries (§4, Figure 2):
+
+1. the query is filtered by Method M (``Mfilter``) producing ``CS_M``;
+2. in parallel (conceptually), the GC processors look up the GCindex for
+   cached queries that contain / are contained in the new query;
+3. the Candidate Set Pruner applies equations (1) and (2) and the two special
+   cases, producing a reduced candidate set and a set of "free" answers;
+4. only the reduced candidate set is verified with ``Mverifier``;
+5. statistics flow to the Statistics Manager, and the query joins the Window;
+   when the Window fills up, the Window Manager runs admission control, the
+   replacement policy and the GCindex rebuild.
+
+Correctness guarantee (proved in the companion paper [34] and enforced by the
+property tests): for every query, the answer set returned with the cache is
+exactly the answer set Method M would return on its own.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..exceptions import CacheError
+from ..graphs.graph import Graph
+from ..isomorphism.base import SubgraphMatcher
+from ..isomorphism.cost import estimate_subiso_cost
+from ..methods.base import Method
+from ..methods.executor import verify_candidates
+from .admission import AdmissionController
+from .config import GraphCacheConfig
+from .processors import CacheProcessors, ProcessorOutcome
+from .pruner import CandidateSetPruner, PruningResult
+from .query_index import QueryGraphIndex
+from .replacement import policy_by_name
+from .statistics import StatisticsManager
+from .stores import CacheEntry, CacheStore, WindowEntry, WindowStore
+from .window import MaintenanceReport, WindowManager
+
+__all__ = ["GraphCache", "CacheQueryResult", "CacheRuntimeStatistics"]
+
+
+@dataclass(frozen=True)
+class CacheQueryResult:
+    """Result and accounting of one query answered through GraphCache.
+
+    Attributes
+    ----------
+    serial:
+        The serial number GraphCache assigned to the query.
+    answer_ids:
+        Dataset-graph ids in the query's answer set (identical to what Method
+        M alone would return).
+    method_candidates:
+        Size of Method M's candidate set before cache-based pruning.
+    final_candidates:
+        Number of candidates actually verified after pruning.
+    direct_answers:
+        Number of answers obtained from the cache without verification.
+    subiso_tests:
+        Number of dataset-graph sub-iso tests executed.
+    filter_time_s:
+        Method M filtering time.
+    gc_filter_time_s:
+        GraphCache processor time (GCindex lookups + query-vs-query tests).
+    verify_time_s:
+        Effective verification time (divided by Method M's parallelism).
+    maintenance_time_s:
+        Cache-maintenance time triggered by this query (0 unless the query
+        completed a window); reported separately, as in Figure 10.
+    shortcut:
+        ``"exact"``, ``"empty"`` or ``None``.
+    sub_hits / super_hits:
+        Number of cached queries whose answer sets were exploited via the
+        subgraph / supergraph relationship.
+    """
+
+    serial: int
+    answer_ids: FrozenSet[int]
+    method_candidates: int
+    final_candidates: int
+    direct_answers: int
+    subiso_tests: int
+    filter_time_s: float
+    gc_filter_time_s: float
+    verify_time_s: float
+    maintenance_time_s: float
+    shortcut: Optional[str]
+    sub_hits: int
+    super_hits: int
+
+    @property
+    def total_time_s(self) -> float:
+        """Query response time: filtering (M + GC) plus verification."""
+        return self.filter_time_s + self.gc_filter_time_s + self.verify_time_s
+
+    @property
+    def cache_hit(self) -> bool:
+        """``True`` if the cache contributed to this query in any way."""
+        return bool(self.sub_hits or self.super_hits or self.shortcut)
+
+
+@dataclass
+class CacheRuntimeStatistics:
+    """Aggregate counters maintained by a :class:`GraphCache` instance."""
+
+    queries_processed: int = 0
+    cache_hits: int = 0
+    exact_hits: int = 0
+    empty_shortcuts: int = 0
+    subiso_tests: int = 0
+    subiso_tests_alleviated: int = 0
+    total_query_time_s: float = 0.0
+    total_maintenance_time_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the counters as a plain dictionary (for reports)."""
+        return {
+            "queries_processed": self.queries_processed,
+            "cache_hits": self.cache_hits,
+            "exact_hits": self.exact_hits,
+            "empty_shortcuts": self.empty_shortcuts,
+            "subiso_tests": self.subiso_tests,
+            "subiso_tests_alleviated": self.subiso_tests_alleviated,
+            "total_query_time_s": self.total_query_time_s,
+            "total_maintenance_time_s": self.total_maintenance_time_s,
+        }
+
+
+class GraphCache:
+    """Semantic cache front end over a pluggable Method M.
+
+    Parameters
+    ----------
+    method:
+        The query-processing method to expedite (FTV or SI).
+    config:
+        Cache configuration; defaults to the paper's defaults.
+    matcher:
+        Matcher used for query-vs-query containment checks in the GC
+        processors (defaults to the method's own verifier).
+
+    Examples
+    --------
+    >>> from repro.graphs.generators import aids_like
+    >>> from repro.methods import SIMethod
+    >>> dataset = aids_like(scale=0.05)
+    >>> cache = GraphCache(SIMethod(dataset, matcher="vf2plus"))
+    >>> some_query = dataset[0].induced_subgraph(range(5))
+    >>> result = cache.query(some_query)
+    >>> result.answer_ids  # doctest: +SKIP
+    frozenset({0, ...})
+    """
+
+    def __init__(
+        self,
+        method: Method,
+        config: Optional[GraphCacheConfig] = None,
+        matcher: Optional[SubgraphMatcher] = None,
+    ) -> None:
+        self._method = method
+        self._config = config or GraphCacheConfig()
+        if self._config.query_mode == "supergraph" and not method.supports_supergraph:
+            raise CacheError(f"method {method.name!r} cannot serve supergraph queries")
+
+        self._cache_store = CacheStore(self._config.cache_capacity)
+        self._window_store = WindowStore(self._config.window_size)
+        self._statistics = StatisticsManager()
+        self._index = QueryGraphIndex(max_path_length=self._config.index_path_length)
+        self._processors = CacheProcessors(
+            self._index, matcher=matcher or method.matcher
+        )
+        self._pruner = CandidateSetPruner(
+            self._cache_store, query_mode=self._config.query_mode
+        )
+        self._admission = AdmissionController(
+            enabled=self._config.admission_control,
+            expensive_fraction=self._config.admission_expensive_fraction,
+            calibration_windows=self._config.admission_calibration_windows,
+            threshold=self._config.admission_threshold,
+        )
+        self._window_manager = WindowManager(
+            cache_store=self._cache_store,
+            window_store=self._window_store,
+            statistics=self._statistics,
+            index=self._index,
+            policy=policy_by_name(self._config.replacement_policy),
+            admission=self._admission,
+        )
+        self._serial = 0
+        self._runtime = CacheRuntimeStatistics()
+        self._results: List[CacheQueryResult] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def method(self) -> Method:
+        """The wrapped Method M."""
+        return self._method
+
+    @property
+    def config(self) -> GraphCacheConfig:
+        """The active configuration."""
+        return self._config
+
+    @property
+    def statistics_manager(self) -> StatisticsManager:
+        """The Statistics Manager (exposed for inspection and tests)."""
+        return self._statistics
+
+    @property
+    def window_manager(self) -> WindowManager:
+        """The Window Manager (exposed for inspection and tests)."""
+        return self._window_manager
+
+    @property
+    def runtime_statistics(self) -> CacheRuntimeStatistics:
+        """Aggregate counters since the cache was created."""
+        return self._runtime
+
+    @property
+    def cached_serials(self) -> List[int]:
+        """Serial numbers of the currently cached queries."""
+        return self._cache_store.serials()
+
+    def cached_entry(self, serial: int) -> CacheEntry:
+        """Return a cached entry by serial number."""
+        return self._cache_store.get(serial)
+
+    def __len__(self) -> int:
+        return len(self._cache_store)
+
+    def cache_size_bytes(self) -> int:
+        """Approximate memory footprint of GC's data (index + answer sets)."""
+        answers = sum(
+            64 + 8 * len(entry.answer_ids) + 32 * entry.query.order
+            for entry in self._cache_store
+        )
+        return self._index.approximate_size_bytes() + answers
+
+    # ------------------------------------------------------------------ #
+    def query(self, query: Graph) -> CacheQueryResult:
+        """Answer a subgraph (or supergraph) query through the cache."""
+        self._serial += 1
+        serial = self._serial
+
+        # (2) Method M filtering.
+        started = time.perf_counter()
+        method_candidates = self._method.candidates(query)
+        filter_time = time.perf_counter() - started
+
+        # (2) GC processors over the GCindex.
+        outcome = self._processors.process(query)
+
+        # (4) Candidate set pruning.
+        pruning = self._pruner.prune(frozenset(method_candidates), outcome)
+
+        # (5) Verification of the surviving candidates with Mverifier.
+        answers, raw_verify_time, tests, _, _ = verify_candidates(
+            self._method,
+            query,
+            pruning.final_candidates,
+            query_mode=self._config.query_mode,
+        )
+        verify_time = raw_verify_time / max(1, self._method.verify_parallelism)
+        answer_ids = frozenset(answers | pruning.direct_answers)
+
+        # Statistics monitoring: credit contributing cached queries.
+        self._record_contributions(query, serial, outcome, pruning)
+
+        # Window admission: the executed query joins the Window with its
+        # first-execution costs (measured against Method M's own candidate
+        # set semantics: filtering time + its verification effort).
+        maintenance_time = 0.0
+        report = self._window_manager.add_query(
+            WindowEntry(
+                serial=serial,
+                query=query,
+                answer_ids=answer_ids,
+                filter_time_s=filter_time + outcome.elapsed_s,
+                verify_time_s=verify_time,
+            )
+        )
+        if report is not None:
+            maintenance_time = report.elapsed_s
+
+        result = CacheQueryResult(
+            serial=serial,
+            answer_ids=answer_ids,
+            method_candidates=len(method_candidates),
+            final_candidates=len(pruning.final_candidates),
+            direct_answers=len(pruning.direct_answers),
+            subiso_tests=tests,
+            filter_time_s=filter_time,
+            gc_filter_time_s=outcome.elapsed_s,
+            verify_time_s=verify_time,
+            maintenance_time_s=maintenance_time,
+            shortcut=pruning.shortcut,
+            sub_hits=len(outcome.result_sub),
+            super_hits=len(outcome.result_super),
+        )
+        self._update_runtime(result, len(method_candidates))
+        self._results.append(result)
+        return result
+
+    def answer(self, query: Graph) -> FrozenSet[int]:
+        """Convenience wrapper returning only the answer set."""
+        return self.query(query).answer_ids
+
+    def results(self) -> List[CacheQueryResult]:
+        """Per-query results since the cache was created."""
+        return list(self._results)
+
+    # ------------------------------------------------------------------ #
+    def _record_contributions(
+        self,
+        query: Graph,
+        serial: int,
+        outcome: ProcessorOutcome,
+        pruning: PruningResult,
+    ) -> None:
+        """Feed the Statistics Manager with each cached query's contribution."""
+        query_labels = max(1, len(query.distinct_labels()))
+        for cached_serial, removed_ids in pruning.contributions.items():
+            if cached_serial not in self._cache_store:
+                continue
+            cost_saving = 0.0
+            for graph_id in removed_ids:
+                target_order = self._method.dataset[graph_id].order
+                cost_saving += estimate_subiso_cost(
+                    query_order=query.order,
+                    query_distinct_labels=query_labels,
+                    target_order=target_order,
+                )
+            self._statistics.record_hit(
+                serial=cached_serial,
+                benefiting_serial=serial,
+                cs_reduction=float(len(removed_ids)),
+                cost_reduction=cost_saving,
+                special=pruning.shortcut is not None
+                and pruning.shortcut_serial == cached_serial,
+            )
+        # Cached queries that matched but removed nothing still count as hits
+        # for the popularity statistics.
+        contributing = set(pruning.contributions)
+        for cached_serial in (outcome.result_sub | outcome.result_super) - contributing:
+            if cached_serial in self._cache_store:
+                self._statistics.record_hit(
+                    serial=cached_serial,
+                    benefiting_serial=serial,
+                    cs_reduction=0.0,
+                    cost_reduction=0.0,
+                )
+
+    def _update_runtime(self, result: CacheQueryResult, method_candidates: int) -> None:
+        self._runtime.queries_processed += 1
+        self._runtime.subiso_tests += result.subiso_tests
+        self._runtime.subiso_tests_alleviated += max(
+            0, method_candidates - result.subiso_tests
+        )
+        self._runtime.total_query_time_s += result.total_time_s
+        self._runtime.total_maintenance_time_s += result.maintenance_time_s
+        if result.cache_hit:
+            self._runtime.cache_hits += 1
+        if result.shortcut == "exact":
+            self._runtime.exact_hits += 1
+        elif result.shortcut == "empty":
+            self._runtime.empty_shortcuts += 1

@@ -1,0 +1,128 @@
+"""GraphCache configuration.
+
+All knobs the paper discusses are collected in one frozen dataclass so that a
+configuration can be logged alongside experiment results and shared between
+the cache, the window manager and the benchmark harness.  Defaults follow the
+paper's defaults: cache capacity ``C = 100`` entries, window size ``W = 20``,
+the hybrid (HD) replacement policy, admission control disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..exceptions import CacheError
+
+__all__ = ["GraphCacheConfig", "QueryMode"]
+
+#: Valid query modes: GraphCache serves subgraph queries (dataset graphs that
+#: contain the query) or supergraph queries (dataset graphs contained in it).
+QueryMode = str
+
+_VALID_MODES = ("subgraph", "supergraph")
+_VALID_POLICIES = ("lru", "pop", "pin", "pinc", "hd")
+
+
+@dataclass(frozen=True)
+class GraphCacheConfig:
+    """Configuration of a :class:`~repro.core.cache.GraphCache` instance.
+
+    Attributes
+    ----------
+    cache_capacity:
+        Maximum number of cached queries (paper default: 100).
+    window_size:
+        Number of new queries batched before a cache-update round (paper
+        default: 20).
+    replacement_policy:
+        One of ``"lru"``, ``"pop"``, ``"pin"``, ``"pinc"``, ``"hd"``.
+    admission_control:
+        Enable the expensiveness-based admission filter of §6.2.
+    admission_expensive_fraction:
+        Fraction of calibration queries that should be classified as
+        expensive; the threshold is set to the corresponding quantile of the
+        observed verification/filtering time ratios.
+    admission_calibration_windows:
+        Number of initial windows observed before the threshold is fixed.
+    admission_threshold:
+        Explicit expensiveness threshold.  ``None`` means "calibrate from the
+        first windows"; ``0.0`` disables admission control even if
+        ``admission_control`` is ``True`` (paper: "a threshold value of 0
+        disables this component").
+    query_mode:
+        ``"subgraph"`` (default) or ``"supergraph"``.
+    index_path_length:
+        Maximum label-path length indexed by GCindex over cached queries.
+    warmup_windows:
+        Number of initial windows excluded from benchmark statistics (the
+        paper allows one window before measuring).
+    """
+
+    cache_capacity: int = 100
+    window_size: int = 20
+    replacement_policy: str = "hd"
+    admission_control: bool = False
+    admission_expensive_fraction: float = 0.25
+    admission_calibration_windows: int = 2
+    admission_threshold: Optional[float] = None
+    query_mode: QueryMode = "subgraph"
+    index_path_length: int = 3
+    warmup_windows: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity <= 0:
+            raise CacheError("cache_capacity must be positive")
+        if self.window_size <= 0:
+            raise CacheError("window_size must be positive")
+        if self.replacement_policy.lower() not in _VALID_POLICIES:
+            raise CacheError(
+                f"unknown replacement policy {self.replacement_policy!r}; "
+                f"valid policies: {', '.join(_VALID_POLICIES)}"
+            )
+        if self.query_mode not in _VALID_MODES:
+            raise CacheError(
+                f"unknown query mode {self.query_mode!r}; valid modes: {', '.join(_VALID_MODES)}"
+            )
+        if not (0.0 < self.admission_expensive_fraction <= 1.0):
+            raise CacheError("admission_expensive_fraction must be in (0, 1]")
+        if self.admission_calibration_windows < 1:
+            raise CacheError("admission_calibration_windows must be >= 1")
+        if self.index_path_length < 1:
+            raise CacheError("index_path_length must be >= 1")
+        if self.warmup_windows < 0:
+            raise CacheError("warmup_windows must be >= 0")
+
+    # ------------------------------------------------------------------ #
+    def with_policy(self, policy: str) -> "GraphCacheConfig":
+        """Return a copy using a different replacement policy."""
+        return replace(self, replacement_policy=policy)
+
+    def with_capacity(self, cache_capacity: int, window_size: Optional[int] = None) -> "GraphCacheConfig":
+        """Return a copy with a different cache capacity (and optionally window)."""
+        if window_size is None:
+            return replace(self, cache_capacity=cache_capacity)
+        return replace(self, cache_capacity=cache_capacity, window_size=window_size)
+
+    def with_admission_control(
+        self,
+        enabled: bool = True,
+        expensive_fraction: Optional[float] = None,
+        threshold: Optional[float] = None,
+    ) -> "GraphCacheConfig":
+        """Return a copy with admission control switched on/off."""
+        fraction = (
+            self.admission_expensive_fraction
+            if expensive_fraction is None
+            else expensive_fraction
+        )
+        return replace(
+            self,
+            admission_control=enabled,
+            admission_expensive_fraction=fraction,
+            admission_threshold=threshold,
+        )
+
+    def label(self) -> str:
+        """Short label like ``c100-b20`` used in the paper's figures."""
+        return f"c{self.cache_capacity}-b{self.window_size}"

@@ -1,0 +1,105 @@
+"""Persistence of GraphCache state across sessions.
+
+The paper's Cache Manager loads its stores from disk on startup and writes
+them back on shutdown (§6.1) so that a long-running analytics deployment does
+not start from a cold cache after a restart.  This module provides the same
+capability for :class:`~repro.core.cache.GraphCache`: the cached queries,
+their answer sets, their statistics and the configuration are written to a
+single JSON snapshot; loading the snapshot restores a warm cache in front of
+the same (re-built) Method M.
+
+Only the *cache* contents are persisted — the current window is transient by
+design (its queries have not been admitted yet), and GCindex is rebuilt from
+the cached query graphs on load, exactly as the Window Manager rebuilds it
+after every update round.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+from ..exceptions import CacheError
+from ..graphs.io import graph_from_text, graph_to_text
+from ..methods.base import Method
+from .cache import GraphCache
+from .config import GraphCacheConfig
+from .statistics import CachedQueryStats
+
+__all__ = ["save_cache", "load_cache"]
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_cache(cache: GraphCache, path: PathLike) -> None:
+    """Write a warm-cache snapshot of ``cache`` to ``path`` (JSON)."""
+    entries = []
+    for serial in cache.cached_serials:
+        entry = cache.cached_entry(serial)
+        stats = cache.statistics_manager.snapshot(serial)
+        entries.append(
+            {
+                "serial": serial,
+                "query": graph_to_text(entry.query),
+                "answers": sorted(entry.answer_ids),
+                "statistics": asdict(stats),
+            }
+        )
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "config": asdict(cache.config),
+        "next_serial": cache.runtime_statistics.queries_processed,
+        "dataset_name": cache.method.dataset.name,
+        "dataset_size": len(cache.method.dataset),
+        "entries": entries,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def load_cache(path: PathLike, method: Method) -> GraphCache:
+    """Restore a warm :class:`GraphCache` over ``method`` from a snapshot.
+
+    The snapshot must have been taken against a dataset of the same size
+    (answer sets are stored as graph ids); a mismatch raises
+    :class:`CacheError` rather than silently returning wrong answers.
+    """
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise CacheError(f"unsupported cache snapshot version {payload.get('format_version')!r}")
+    if payload["dataset_size"] != len(method.dataset):
+        raise CacheError(
+            f"snapshot was taken against a dataset of {payload['dataset_size']} graphs, "
+            f"but the supplied method serves {len(method.dataset)} graphs"
+        )
+
+    config = GraphCacheConfig(**payload["config"])
+    cache = GraphCache(method, config)
+
+    # Restore cached entries directly into the stores, then rebuild the index
+    # once — the same code path the Window Manager uses after a normal round.
+    from .stores import CacheEntry  # local import to avoid a cycle at module load
+
+    entries = []
+    max_serial = 0
+    for record in payload["entries"]:
+        serial = int(record["serial"])
+        max_serial = max(max_serial, serial)
+        entries.append(
+            CacheEntry(
+                serial=serial,
+                query=graph_from_text(record["query"]),
+                answer_ids=frozenset(int(x) for x in record["answers"]),
+            )
+        )
+        # register_query() persists every statistics column, including the
+        # hit counters and contribution totals carried in the snapshot.
+        cache.statistics_manager.register_query(CachedQueryStats(**record["statistics"]))
+
+    cache._cache_store.replace_contents(entries)
+    cache._index.rebuild((entry.serial, entry.query) for entry in entries)
+    cache._serial = max(int(payload.get("next_serial", 0)), max_serial)
+    return cache

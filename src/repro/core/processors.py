@@ -1,0 +1,172 @@
+"""GCsub / GCsuper processors: discovering query–query containment relations.
+
+Given a new query ``g`` and the GCindex over cached queries, the two
+processors produce (§5.1):
+
+* ``Resultsub(g)`` — cached queries ``g'`` with ``g ⊆ g'`` (GCsub processor),
+* ``Resultsuper(g)`` — cached queries ``g''`` with ``g'' ⊆ g`` (GCsuper
+  processor),
+
+plus detection of the two special cases that yield the greatest gains:
+
+* an **exact (isomorphic) hit**: a cached connected query with the same number
+  of vertices and edges that contains or is contained in ``g``;
+* an **empty-answer shortcut**: in subgraph mode, some ``g'' ⊆ g`` with an
+  empty answer set proves ``g``'s answer set is empty (in supergraph mode the
+  same holds for some ``g' ⊇ g``).
+
+The processors only *confirm* candidates produced by the GCindex filters; all
+confirmations are real sub-iso tests between query graphs (small), executed
+with the configured matcher.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from ..graphs.graph import Graph
+from ..isomorphism.base import SubgraphMatcher
+from ..isomorphism.vf2_plus import VF2PlusMatcher
+from .query_index import QueryGraphIndex
+from .stores import CacheStore
+
+__all__ = ["ProcessorOutcome", "CacheProcessors"]
+
+
+@dataclass(frozen=True)
+class ProcessorOutcome:
+    """Everything the two GC processors learned about a new query.
+
+    Attributes
+    ----------
+    result_sub:
+        Serial numbers of cached queries of which the new query is a subgraph
+        (``Resultsub``).
+    result_super:
+        Serial numbers of cached queries of which the new query is a
+        supergraph (``Resultsuper``).
+    exact_match_serial:
+        Serial of an isomorphic cached query, if one exists.
+    elapsed_s:
+        Wall-clock time spent in GC filtering (index lookups plus the
+        query-vs-query confirmation sub-iso tests).
+    containment_tests:
+        Number of query-vs-query sub-iso tests executed.
+    """
+
+    result_sub: FrozenSet[int]
+    result_super: FrozenSet[int]
+    exact_match_serial: Optional[int]
+    elapsed_s: float
+    containment_tests: int
+
+    @property
+    def hit(self) -> bool:
+        """``True`` if any containment relationship was found."""
+        return bool(self.result_sub or self.result_super)
+
+
+class CacheProcessors:
+    """The GCsub and GCsuper processors sharing one GCindex and one matcher."""
+
+    def __init__(
+        self,
+        index: QueryGraphIndex,
+        matcher: Optional[SubgraphMatcher] = None,
+    ) -> None:
+        self._index = index
+        self._matcher = matcher or VF2PlusMatcher()
+
+    @property
+    def index(self) -> QueryGraphIndex:
+        """The GCindex this processor pair reads."""
+        return self._index
+
+    @property
+    def matcher(self) -> SubgraphMatcher:
+        """Matcher used for query-vs-query containment confirmation."""
+        return self._matcher
+
+    # ------------------------------------------------------------------ #
+    def process(self, query: Graph) -> ProcessorOutcome:
+        """Run both processors for ``query`` against the current GCindex."""
+        started = time.perf_counter()
+        tests = 0
+
+        features = self._index.query_features(query)
+        sub_candidates = self._index.candidate_supergraphs(query, features)
+
+        # Fast path: an isomorphic cached query (same vertex and edge counts,
+        # containment in one direction) yields the greatest possible gain and
+        # makes every other containment check unnecessary (§5.1, special case 1).
+        for serial in sorted(sub_candidates):
+            if not self._same_shape(query, serial):
+                continue
+            cached_query = self._index.graph(serial)
+            tests += 1
+            if self._matcher.is_subgraph(query, cached_query):
+                elapsed = time.perf_counter() - started
+                return ProcessorOutcome(
+                    result_sub=frozenset({serial}),
+                    result_super=frozenset({serial}),
+                    exact_match_serial=serial,
+                    elapsed_s=elapsed,
+                    containment_tests=tests,
+                )
+
+        # GCsub processor: cached queries that may contain the new query.
+        result_sub: set = set()
+        for serial in sub_candidates:
+            if self._same_shape(query, serial):
+                continue  # already checked in the exact-match fast path
+            cached_query = self._index.graph(serial)
+            tests += 1
+            if self._matcher.is_subgraph(query, cached_query):
+                result_sub.add(serial)
+
+        # GCsuper processor: cached queries that may be contained in the query.
+        result_super: set = set()
+        for serial in self._index.candidate_subgraphs(query, features):
+            if serial in result_sub and self._same_shape(query, serial):
+                # Already confirmed in the other direction with equal size:
+                # containment plus equal vertex/edge counts implies isomorphism,
+                # no need for a second sub-iso test.
+                result_super.add(serial)
+                continue
+            cached_query = self._index.graph(serial)
+            tests += 1
+            if self._matcher.is_subgraph(cached_query, query):
+                result_super.add(serial)
+
+        exact = self._find_exact_match(query, result_sub, result_super)
+        elapsed = time.perf_counter() - started
+        return ProcessorOutcome(
+            result_sub=frozenset(result_sub),
+            result_super=frozenset(result_super),
+            exact_match_serial=exact,
+            elapsed_s=elapsed,
+            containment_tests=tests,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _same_shape(self, query: Graph, serial: int) -> bool:
+        cached_query = self._index.graph(serial)
+        return cached_query.order == query.order and cached_query.size == query.size
+
+    def _find_exact_match(
+        self,
+        query: Graph,
+        result_sub: FrozenSet[int],
+        result_super: FrozenSet[int],
+    ) -> Optional[int]:
+        """Detect an isomorphic cached query (first special case of §5.1).
+
+        For connected query graphs, a containment relation in either direction
+        together with equal vertex and edge counts implies isomorphism.
+        """
+        for serial in sorted(result_sub | result_super):
+            if self._same_shape(query, serial):
+                return serial
+        return None

@@ -1,0 +1,166 @@
+"""GCindex: the combined subgraph/supergraph index over cached queries.
+
+GraphCache indexes the *cached query graphs* (not the dataset) so that, given
+a new query ``g``, it can quickly find
+
+* ``Resultsub(g)`` — cached queries ``g'`` with ``g ⊆ g'`` (``g`` is a
+  subgraph of a previous query), and
+* ``Resultsuper(g)`` — cached queries ``g''`` with ``g'' ⊆ g`` (``g`` is a
+  supergraph of a previous query).
+
+The index is loosely based on the GraphGrepSX path trie (as in the paper,
+§6.1), augmented with per-query feature counters so the same structure serves
+both directions:
+
+* sub-direction filtering uses the trie: a cached query can only be a
+  supergraph of ``g`` — i.e. contain ``g`` — if it contains every label path
+  of ``g`` at least as often;
+* super-direction filtering compares the cached query's stored feature
+  counter against ``g``'s counter (the cache holds at most a few hundred
+  entries, so the scan is cheap), plus vertex/edge/label-histogram dominance.
+
+Both filters are *necessary-condition* filters: surviving candidates are then
+confirmed with an actual sub-iso test by the GC processors.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..ftv.features import path_features
+from ..ftv.trie import PathTrie
+from ..graphs.graph import Graph
+from ..graphs.signatures import could_be_subgraph
+
+__all__ = ["QueryGraphIndex"]
+
+
+class QueryGraphIndex:
+    """Counted path index over a set of cached query graphs.
+
+    Parameters
+    ----------
+    max_path_length:
+        Maximum label-path length (in edges) extracted from each query graph.
+        Queries are small, so a modest length (3 by default in
+        :class:`~repro.core.config.GraphCacheConfig`) gives good pruning at a
+        tiny indexing cost.
+    """
+
+    #: Number of (longest-first) features used as the filtering probe.  Longer
+    #: paths are the most selective features; using only a bounded probe keeps
+    #: GC's per-query filtering overhead small and independent of query size,
+    #: and is sound — weakening a necessary-condition filter can only let more
+    #: candidates through to the confirmation sub-iso test.
+    PROBE_LIMIT = 24
+
+    def __init__(self, max_path_length: int = 3) -> None:
+        self._max_path_length = max_path_length
+        self._trie = PathTrie()
+        self._features: Dict[int, Counter] = {}
+        self._probes: Dict[int, Tuple[Tuple[Tuple[str, ...], int], ...]] = {}
+        self._graphs: Dict[int, Graph] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def max_path_length(self) -> int:
+        """Maximum indexed label-path length in edges."""
+        return self._max_path_length
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __contains__(self, serial: int) -> bool:
+        return serial in self._graphs
+
+    def serials(self) -> List[int]:
+        """Serial numbers of every indexed query."""
+        return list(self._graphs)
+
+    def graph(self, serial: int) -> Graph:
+        """Return the indexed query graph with the given serial."""
+        return self._graphs[serial]
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _probe_of(features: Counter) -> Tuple[Tuple[Tuple[str, ...], int], ...]:
+        """The most selective (longest) features of a counter, probe-limited."""
+        ordered = sorted(features.items(), key=lambda item: (-len(item[0]), item[0]))
+        return tuple(ordered[: QueryGraphIndex.PROBE_LIMIT])
+
+    def add(self, serial: int, query: Graph) -> None:
+        """Index a cached query graph under its serial number."""
+        features = path_features(query, self._max_path_length)
+        self._trie.insert_features(features, serial)
+        self._features[serial] = features
+        self._probes[serial] = self._probe_of(features)
+        self._graphs[serial] = query
+
+    def remove(self, serial: int) -> None:
+        """Remove a cached query from the index (no-op if absent)."""
+        if serial not in self._graphs:
+            return
+        self._trie.remove_owner(serial)
+        del self._features[serial]
+        del self._probes[serial]
+        del self._graphs[serial]
+
+    def rebuild(self, entries: Iterable[Tuple[int, Graph]]) -> None:
+        """Rebuild the index from scratch for a new set of cached queries.
+
+        This mirrors the Window Manager's re-indexing step: the new index is
+        built and swapped in wholesale after a cache-update round.
+        """
+        self._trie = PathTrie()
+        self._features = {}
+        self._probes = {}
+        self._graphs = {}
+        for serial, query in entries:
+            self.add(serial, query)
+
+    # ------------------------------------------------------------------ #
+    # Candidate generation (to be confirmed by sub-iso tests).
+    # ------------------------------------------------------------------ #
+    def query_features(self, query: Graph) -> Counter:
+        """Feature counter of a new query (shared by both directions)."""
+        return path_features(query, self._max_path_length)
+
+    def candidate_supergraphs(
+        self, query: Graph, features: Optional[Counter] = None
+    ) -> FrozenSet[int]:
+        """Cached queries that *may contain* ``query`` (``Resultsub`` candidates)."""
+        if not self._graphs:
+            return frozenset()
+        features = features if features is not None else self.query_features(query)
+        probe = dict(self._probe_of(features))
+        candidates = self._trie.filter(probe)
+        return frozenset(
+            serial
+            for serial in candidates
+            if could_be_subgraph(query, self._graphs[serial])
+        )
+
+    def candidate_subgraphs(
+        self, query: Graph, features: Optional[Counter] = None
+    ) -> FrozenSet[int]:
+        """Cached queries that *may be contained in* ``query`` (``Resultsuper`` candidates)."""
+        if not self._graphs:
+            return frozenset()
+        features = features if features is not None else self.query_features(query)
+        survivors: List[int] = []
+        for serial, probe in self._probes.items():
+            cached_graph = self._graphs[serial]
+            if not could_be_subgraph(cached_graph, query):
+                continue
+            if all(features.get(feature, 0) >= count for feature, count in probe):
+                survivors.append(serial)
+        return frozenset(survivors)
+
+    # ------------------------------------------------------------------ #
+    def approximate_size_bytes(self) -> int:
+        """Rough memory footprint of the index (trie + feature counters)."""
+        counters = sum(
+            48 + 24 * len(counter) for counter in self._features.values()
+        )
+        return self._trie.approximate_size_bytes() + counters

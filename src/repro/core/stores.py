@@ -1,0 +1,212 @@
+"""Cache and Window data stores (the Data Layer of §6.1).
+
+Two store groups exist:
+
+* the **Cache stores** hold the cached queries, their answer sets and their
+  statistics — these feed the GC processors and the replacement policies;
+* the **Window stores** hold the queries of the current window (new queries
+  not yet considered for admission) together with their answer sets and
+  static statistics.
+
+Both stores are bounded hash tables keyed by the query's serial number, as in
+the paper.  Persistence to disk at startup/shutdown is supported through
+simple JSON snapshots so a long-running analytics session can be resumed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple, Union
+
+from ..exceptions import CacheError
+from ..graphs.graph import Graph
+from ..graphs.io import graph_from_text, graph_to_text
+
+__all__ = ["CacheEntry", "CacheStore", "WindowEntry", "WindowStore"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached query: the query graph plus its answer set."""
+
+    serial: int
+    query: Graph
+    answer_ids: FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class WindowEntry:
+    """One window query awaiting the next cache-update round.
+
+    Carries everything the admission controller and the replacement round
+    need: the answer set and the first-execution filter/verify times.
+    """
+
+    serial: int
+    query: Graph
+    answer_ids: FrozenSet[int]
+    filter_time_s: float
+    verify_time_s: float
+
+    @property
+    def expensiveness(self) -> float:
+        """Verification/filtering time ratio (admission-control score)."""
+        if self.filter_time_s <= 0.0:
+            return float("inf") if self.verify_time_s > 0.0 else 0.0
+        return self.verify_time_s / self.filter_time_s
+
+
+class CacheStore:
+    """Bounded store of cached queries and their answer sets."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise CacheError("cache capacity must be positive")
+        self._capacity = capacity
+        self._entries: Dict[int, CacheEntry] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached queries."""
+        return self._capacity
+
+    @property
+    def is_full(self) -> bool:
+        """``True`` when the store reached its configured capacity."""
+        return len(self._entries) >= self._capacity
+
+    def free_slots(self) -> int:
+        """Number of additional entries the store can hold."""
+        return max(0, self._capacity - len(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, serial: int) -> bool:
+        return serial in self._entries
+
+    def __iter__(self) -> Iterator[CacheEntry]:
+        return iter(list(self._entries.values()))
+
+    def serials(self) -> List[int]:
+        """Serial numbers of every cached query."""
+        return list(self._entries)
+
+    def get(self, serial: int) -> CacheEntry:
+        """Return the entry with the given serial number."""
+        try:
+            return self._entries[serial]
+        except KeyError:
+            raise CacheError(f"query {serial} is not cached") from None
+
+    # ------------------------------------------------------------------ #
+    def add(self, entry: CacheEntry) -> None:
+        """Add an entry; raises if the store is full (evict first)."""
+        if entry.serial in self._entries:
+            raise CacheError(f"query {entry.serial} is already cached")
+        if self.is_full:
+            raise CacheError("cache store is full; evict entries before adding")
+        self._entries[entry.serial] = entry
+
+    def evict(self, serial: int) -> CacheEntry:
+        """Remove and return the entry with the given serial number."""
+        try:
+            return self._entries.pop(serial)
+        except KeyError:
+            raise CacheError(f"query {serial} is not cached") from None
+
+    def replace_contents(self, entries: List[CacheEntry]) -> None:
+        """Atomically swap in a new set of entries (the index-rebuild swap)."""
+        if len(entries) > self._capacity:
+            raise CacheError(
+                f"{len(entries)} entries exceed the cache capacity of {self._capacity}"
+            )
+        serials = {entry.serial for entry in entries}
+        if len(serials) != len(entries):
+            raise CacheError("duplicate serial numbers in new cache contents")
+        self._entries = {entry.serial: entry for entry in entries}
+
+    # ------------------------------------------------------------------ #
+    # Persistence (startup load / shutdown save, §6.1).
+    # ------------------------------------------------------------------ #
+    def save(self, path: PathLike) -> None:
+        """Write the store to a JSON snapshot."""
+        payload = {
+            "capacity": self._capacity,
+            "entries": [
+                {
+                    "serial": entry.serial,
+                    "query": graph_to_text(entry.query),
+                    "answers": sorted(entry.answer_ids),
+                }
+                for entry in self._entries.values()
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: PathLike) -> "CacheStore":
+        """Read a store back from a JSON snapshot."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        store = cls(capacity=int(payload["capacity"]))
+        for record in payload["entries"]:
+            store.add(
+                CacheEntry(
+                    serial=int(record["serial"]),
+                    query=graph_from_text(record["query"]),
+                    answer_ids=frozenset(int(x) for x in record["answers"]),
+                )
+            )
+        return store
+
+
+class WindowStore:
+    """Bounded store of the current window's queries."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise CacheError("window capacity must be positive")
+        self._capacity = capacity
+        self._entries: Dict[int, WindowEntry] = {}
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of window queries before a cache-update round."""
+        return self._capacity
+
+    @property
+    def is_full(self) -> bool:
+        """``True`` when the window reached its configured size."""
+        return len(self._entries) >= self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, serial: int) -> bool:
+        return serial in self._entries
+
+    def __iter__(self) -> Iterator[WindowEntry]:
+        return iter(list(self._entries.values()))
+
+    def add(self, entry: WindowEntry) -> None:
+        """Add a window entry; raises if the window is already full."""
+        if self.is_full:
+            raise CacheError("window store is full; drain it before adding")
+        if entry.serial in self._entries:
+            raise CacheError(f"query {entry.serial} is already in the window")
+        self._entries[entry.serial] = entry
+
+    def drain(self) -> List[WindowEntry]:
+        """Remove and return every window entry (ordered by serial)."""
+        entries = sorted(self._entries.values(), key=lambda entry: entry.serial)
+        self._entries = {}
+        return entries
+
+    def entries(self) -> List[WindowEntry]:
+        """Current window entries (ordered by serial), without draining."""
+        return sorted(self._entries.values(), key=lambda entry: entry.serial)

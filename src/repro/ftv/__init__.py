@@ -1,0 +1,34 @@
+"""Filter-then-verify (FTV) methods: GraphGrepSX, Grapes, CT-Index."""
+
+from .base import FTVMethod
+from .ctindex import CTIndex
+from .features import (
+    canonical_cycle_key,
+    canonical_path_key,
+    cycle_features,
+    extract_label_cycles,
+    extract_label_paths,
+    path_features,
+)
+from .fingerprints import Fingerprint, feature_bit
+from .ggsx import GraphGrepSX
+from .grapes import Grapes
+from .supergraph import SupergraphFeatureIndex
+from .trie import PathTrie
+
+__all__ = [
+    "FTVMethod",
+    "GraphGrepSX",
+    "Grapes",
+    "CTIndex",
+    "SupergraphFeatureIndex",
+    "PathTrie",
+    "Fingerprint",
+    "feature_bit",
+    "canonical_cycle_key",
+    "canonical_path_key",
+    "cycle_features",
+    "extract_label_cycles",
+    "extract_label_paths",
+    "path_features",
+]

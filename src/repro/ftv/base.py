@@ -1,0 +1,65 @@
+"""Base class for filter-then-verify (FTV) methods.
+
+An FTV method builds an index over the dataset graphs in a pre-processing
+step; at query time the index prunes graphs that provably cannot contain the
+query (filtering), and only the surviving candidate set is sub-iso tested
+(verification).  The filtering must be *sound*: it may never prune a graph
+that actually contains the query — the library's property tests check exactly
+this invariant for every bundled method.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Dict, Optional
+
+from ..graphs.dataset import GraphDataset
+from ..graphs.graph import Graph
+from ..isomorphism.base import SubgraphMatcher
+from ..isomorphism.vf2_plus import VF2PlusMatcher
+from ..methods.base import Method
+
+__all__ = ["FTVMethod"]
+
+
+class FTVMethod(Method):
+    """A Method M with a dataset index and a filtering stage.
+
+    Subclasses implement :meth:`_index_graph` (producing the per-graph feature
+    representation at build time) and :meth:`_filter` (producing the candidate
+    set from the query's features at query time).
+    """
+
+    def __init__(
+        self,
+        dataset: GraphDataset,
+        matcher: Optional[SubgraphMatcher] = None,
+    ) -> None:
+        super().__init__(dataset, matcher or VF2PlusMatcher())
+        started = time.perf_counter()
+        self._build_index()
+        self._build_time_s = time.perf_counter() - started
+
+    # ------------------------------------------------------------------ #
+    @property
+    def build_time_s(self) -> float:
+        """Wall-clock time spent building the dataset index."""
+        return self._build_time_s
+
+    @abc.abstractmethod
+    def _build_index(self) -> None:
+        """Build the dataset index (called once from ``__init__``)."""
+
+    @abc.abstractmethod
+    def _filter(self, query: Graph) -> frozenset:
+        """Return the candidate set for ``query`` using the index."""
+
+    # ------------------------------------------------------------------ #
+    def candidates(self, query: Graph) -> frozenset:
+        """Candidate set: never larger than the dataset, always ⊇ answer set."""
+        return self._filter(query)
+
+    @abc.abstractmethod
+    def index_size_bytes(self) -> int:
+        """Approximate memory footprint of the dataset index."""

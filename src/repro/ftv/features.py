@@ -1,0 +1,158 @@
+"""Feature extraction for filter-then-verify (FTV) indexing.
+
+FTV methods decompose graphs into small *features* and index which dataset
+graph contains which feature (and how many times).  A query can only be
+contained in dataset graphs that contain every feature of the query at least
+as many times — this is the filtering stage.  The methods bundled with
+GraphCache use three feature families:
+
+* **label paths** (GraphGrepSX, Grapes): sequences of vertex labels along
+  simple paths of up to ``max_length`` edges;
+* **trees** (CT-Index): here represented by the same bounded label paths,
+  which are the degenerate trees that dominate CT-Index fingerprints on
+  sparse molecule graphs;
+* **cycles** (CT-Index): label sequences along simple cycles of bounded size.
+
+All extraction functions return a :class:`collections.Counter` keyed by a
+*canonical* feature key so that a path read in either direction (or a cycle
+read from any starting point / direction) maps to the same key.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Tuple
+
+from ..graphs.graph import Graph
+
+__all__ = [
+    "canonical_path_key",
+    "canonical_cycle_key",
+    "extract_label_paths",
+    "extract_label_cycles",
+    "path_features",
+    "cycle_features",
+]
+
+FeatureKey = Tuple[str, ...]
+
+
+def canonical_path_key(labels: Iterable[object]) -> FeatureKey:
+    """Canonical key of a label path: the lexicographically smaller direction."""
+    forward = tuple(str(label) for label in labels)
+    backward = tuple(reversed(forward))
+    return forward if forward <= backward else backward
+
+
+def canonical_cycle_key(labels: Iterable[object]) -> FeatureKey:
+    """Canonical key of a label cycle: minimal rotation over both directions."""
+    ring = tuple(str(label) for label in labels)
+    if not ring:
+        return ("cycle",)
+    best: FeatureKey | None = None
+    for sequence in (ring, tuple(reversed(ring))):
+        for shift in range(len(sequence)):
+            rotation = sequence[shift:] + sequence[:shift]
+            if best is None or rotation < best:
+                best = rotation
+    return ("cycle",) + best  # tag distinguishes cycles from paths of equal labels
+
+
+def extract_label_paths(graph: Graph, max_length: int) -> Counter:
+    """Count all simple label paths with 0..``max_length`` edges.
+
+    A path with 0 edges is a single vertex (its label alone); each undirected
+    path is counted once (not once per direction).
+    """
+    counts: Counter = Counter()
+    if max_length < 0:
+        return counts
+    for vertex in graph.vertices():
+        counts[canonical_path_key([graph.label(vertex)])] += 1
+    if max_length == 0:
+        return counts
+
+    # Enumerate simple paths by DFS from every start vertex.  Every undirected
+    # path of >= 1 edge is discovered exactly twice (once from each endpoint),
+    # so the per-path counts are halved at the end.  The DFS keeps a single
+    # shared path buffer (append/pop) to avoid per-node list copies — path
+    # enumeration dominates FTV index construction on dense graphs.
+    double_counts: Counter = Counter()
+    labels = graph.labels
+    in_path = [False] * graph.order
+    path_labels: List[str] = []
+
+    def dfs(current: int, depth: int) -> None:
+        for neighbour in graph.neighbors(current):
+            if in_path[neighbour]:
+                continue
+            path_labels.append(str(labels[neighbour]))
+            forward = tuple(path_labels)
+            backward = forward[::-1]
+            double_counts[forward if forward <= backward else backward] += 1
+            if depth + 1 < max_length:
+                in_path[neighbour] = True
+                dfs(neighbour, depth + 1)
+                in_path[neighbour] = False
+            path_labels.pop()
+
+    for start in graph.vertices():
+        in_path[start] = True
+        path_labels.append(str(labels[start]))
+        dfs(start, 0)
+        path_labels.pop()
+        in_path[start] = False
+
+    for key, value in double_counts.items():
+        counts[key] += value // 2
+    return counts
+
+
+def extract_label_cycles(graph: Graph, max_size: int) -> Counter:
+    """Count all simple label cycles with 3..``max_size`` vertices.
+
+    Each cycle is counted once regardless of starting vertex or direction.
+    """
+    counts: Counter = Counter()
+    if max_size < 3:
+        return counts
+    seen_cycles: set = set()
+    for start in graph.vertices():
+        stack: List[Tuple[int, List[int]]] = [(start, [start])]
+        while stack:
+            current, path = stack.pop()
+            for neighbour in graph.neighbors(current):
+                if neighbour == start and len(path) >= 3:
+                    # Found a cycle; canonicalise its vertex ring (minimal
+                    # rotation over both directions) so each simple cycle is
+                    # counted exactly once.
+                    ring = tuple(path)
+                    best = None
+                    for sequence in (ring, tuple(reversed(ring))):
+                        for shift in range(len(sequence)):
+                            rotation = sequence[shift:] + sequence[:shift]
+                            if best is None or rotation < best:
+                                best = rotation
+                    if best in seen_cycles:
+                        continue
+                    seen_cycles.add(best)
+                    counts[canonical_cycle_key(graph.label(v) for v in path)] += 1
+                elif (
+                    neighbour not in path
+                    and len(path) < max_size
+                    and neighbour > start
+                ):
+                    # Restricting to vertices > start ensures each cycle is
+                    # discovered only from its minimum vertex.
+                    stack.append((neighbour, path + [neighbour]))
+    return counts
+
+
+def path_features(graph: Graph, max_length: int) -> Counter:
+    """Public alias for :func:`extract_label_paths` (GGSX / Grapes features)."""
+    return extract_label_paths(graph, max_length)
+
+
+def cycle_features(graph: Graph, max_size: int) -> Counter:
+    """Public alias for :func:`extract_label_cycles` (CT-Index cycle features)."""
+    return extract_label_cycles(graph, max_size)

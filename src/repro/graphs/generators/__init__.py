@@ -1,0 +1,29 @@
+"""Random graph and stand-in dataset generators."""
+
+from .datasets import (
+    DATASET_FACTORIES,
+    aids_like,
+    dataset_by_name,
+    pcm_like,
+    pdbs_like,
+    synthetic_like,
+)
+from .random_labeled import (
+    random_connected_graph,
+    random_labels,
+    random_tree,
+    zipfian_label_weights,
+)
+
+__all__ = [
+    "DATASET_FACTORIES",
+    "aids_like",
+    "dataset_by_name",
+    "pcm_like",
+    "pdbs_like",
+    "synthetic_like",
+    "random_connected_graph",
+    "random_labels",
+    "random_tree",
+    "zipfian_label_weights",
+]

@@ -1,0 +1,310 @@
+"""Core labelled-graph data structure.
+
+GraphCache (and the whole subgraph-query literature it builds on) operates on
+*undirected vertex-labelled graphs*: each vertex carries a label drawn from a
+finite alphabet, edges are unlabelled and undirected.  This module provides an
+immutable-after-freeze :class:`Graph` optimised for the access patterns of the
+library:
+
+* adjacency lookups (``graph.neighbors(u)``) during subgraph-isomorphism search,
+* label lookups (``graph.label(u)``) and per-label vertex lists,
+* cheap structural summaries (degree sequence, label histogram) used by
+  filtering heuristics,
+* hashing / equality on the *structure* (used by caches, pools and tests).
+
+Vertices are integers ``0..n-1``; this keeps the matchers simple and fast and
+mirrors the representation used by the native tools the paper plugs in
+(GraphGrepSX, Grapes, VF2).  Use :class:`repro.graphs.builder.GraphBuilder`
+for incremental construction with arbitrary vertex names.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from ..exceptions import GraphError
+
+__all__ = ["Graph"]
+
+Edge = Tuple[int, int]
+
+
+def _normalize_edge(u: int, v: int) -> Edge:
+    """Return the canonical (min, max) form of an undirected edge."""
+    return (u, v) if u <= v else (v, u)
+
+
+class Graph:
+    """An undirected, vertex-labelled graph with integer vertices.
+
+    Parameters
+    ----------
+    labels:
+        Sequence of vertex labels; vertex ``i`` gets ``labels[i]``.  Labels may
+        be any hashable value but are typically short strings (atom symbols,
+        protein residue classes, ...).
+    edges:
+        Iterable of ``(u, v)`` pairs with ``0 <= u, v < len(labels)``.
+        Self-loops and duplicate edges are rejected.
+    graph_id:
+        Optional identifier used by datasets and result sets.  It does not
+        participate in equality or hashing.
+
+    Examples
+    --------
+    >>> g = Graph(labels=["C", "C", "O"], edges=[(0, 1), (1, 2)])
+    >>> g.order, g.size
+    (3, 2)
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    >>> g.label(2)
+    'O'
+    """
+
+    __slots__ = (
+        "_labels",
+        "_adjacency",
+        "_edges",
+        "_graph_id",
+        "_label_histogram",
+        "_vertices_by_label",
+        "_hash",
+    )
+
+    def __init__(
+        self,
+        labels: Sequence[object],
+        edges: Iterable[Tuple[int, int]] = (),
+        graph_id: object | None = None,
+    ) -> None:
+        self._labels: Tuple[object, ...] = tuple(labels)
+        n = len(self._labels)
+        adjacency: List[set] = [set() for _ in range(n)]
+        edge_set: set = set()
+        for u, v in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphError(f"edge ({u}, {v}) references a vertex outside 0..{n - 1}")
+            if u == v:
+                raise GraphError(f"self-loop on vertex {u} is not allowed")
+            e = _normalize_edge(u, v)
+            if e in edge_set:
+                raise GraphError(f"duplicate edge ({u}, {v})")
+            edge_set.add(e)
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        self._adjacency: Tuple[frozenset, ...] = tuple(frozenset(a) for a in adjacency)
+        self._edges: Tuple[Edge, ...] = tuple(sorted(edge_set))
+        self._graph_id = graph_id
+        self._label_histogram: Dict[object, int] = dict(Counter(self._labels))
+        by_label: Dict[object, List[int]] = {}
+        for vertex, label in enumerate(self._labels):
+            by_label.setdefault(label, []).append(vertex)
+        self._vertices_by_label: Dict[object, Tuple[int, ...]] = {
+            label: tuple(vertices) for label, vertices in by_label.items()
+        }
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def graph_id(self) -> object | None:
+        """Identifier assigned by the owning dataset (``None`` if unset)."""
+        return self._graph_id
+
+    @property
+    def order(self) -> int:
+        """Number of vertices."""
+        return len(self._labels)
+
+    @property
+    def size(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    @property
+    def labels(self) -> Tuple[object, ...]:
+        """Tuple of vertex labels, indexed by vertex id."""
+        return self._labels
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """Sorted tuple of canonical ``(u, v)`` edges with ``u < v``."""
+        return self._edges
+
+    def vertices(self) -> range:
+        """Range over all vertex ids."""
+        return range(len(self._labels))
+
+    def label(self, vertex: int) -> object:
+        """Return the label of ``vertex``."""
+        return self._labels[vertex]
+
+    def neighbors(self, vertex: int) -> frozenset:
+        """Return the (frozen) set of neighbours of ``vertex``."""
+        return self._adjacency[vertex]
+
+    def degree(self, vertex: int) -> int:
+        """Return the degree of ``vertex``."""
+        return len(self._adjacency[vertex])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` if the undirected edge ``(u, v)`` exists."""
+        return v in self._adjacency[u]
+
+    def has_vertex(self, vertex: int) -> bool:
+        """Return ``True`` if ``vertex`` is a valid vertex id."""
+        return 0 <= vertex < len(self._labels)
+
+    # ------------------------------------------------------------------ #
+    # Structural summaries
+    # ------------------------------------------------------------------ #
+    @property
+    def label_histogram(self) -> Dict[object, int]:
+        """Mapping ``label -> number of vertices carrying it`` (copy)."""
+        return dict(self._label_histogram)
+
+    def label_count(self, label: object) -> int:
+        """Number of vertices carrying ``label``."""
+        return self._label_histogram.get(label, 0)
+
+    def distinct_labels(self) -> frozenset:
+        """Set of distinct labels present in the graph."""
+        return frozenset(self._label_histogram)
+
+    def vertices_with_label(self, label: object) -> Tuple[int, ...]:
+        """All vertices carrying ``label`` (possibly empty)."""
+        return self._vertices_by_label.get(label, ())
+
+    def degree_sequence(self) -> Tuple[int, ...]:
+        """Non-increasing degree sequence."""
+        return tuple(sorted((len(a) for a in self._adjacency), reverse=True))
+
+    def average_degree(self) -> float:
+        """Average vertex degree (0.0 for the empty graph)."""
+        if not self._labels:
+            return 0.0
+        return 2.0 * len(self._edges) / len(self._labels)
+
+    def density(self) -> float:
+        """Edge density ``2m / (n (n-1))`` (0.0 for graphs with < 2 vertices)."""
+        n = len(self._labels)
+        if n < 2:
+            return 0.0
+        return 2.0 * len(self._edges) / (n * (n - 1))
+
+    def is_connected(self) -> bool:
+        """Return ``True`` if the graph is connected (empty graph is connected)."""
+        n = len(self._labels)
+        if n == 0:
+            return True
+        seen = {0}
+        stack = [0]
+        while stack:
+            u = stack.pop()
+            for v in self._adjacency[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen) == n
+
+    def connected_components(self) -> List[Tuple[int, ...]]:
+        """Return the vertex sets of the connected components."""
+        unseen = set(range(len(self._labels)))
+        components: List[Tuple[int, ...]] = []
+        while unseen:
+            root = unseen.pop()
+            component = {root}
+            stack = [root]
+            while stack:
+                u = stack.pop()
+                for v in self._adjacency[u]:
+                    if v in unseen:
+                        unseen.discard(v)
+                        component.add(v)
+                        stack.append(v)
+            components.append(tuple(sorted(component)))
+        return components
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+    def with_id(self, graph_id: object) -> "Graph":
+        """Return a copy of this graph carrying ``graph_id``."""
+        clone = Graph.__new__(Graph)
+        clone._labels = self._labels
+        clone._adjacency = self._adjacency
+        clone._edges = self._edges
+        clone._graph_id = graph_id
+        clone._label_histogram = self._label_histogram
+        clone._vertices_by_label = self._vertices_by_label
+        clone._hash = self._hash
+        return clone
+
+    def induced_subgraph(self, vertices: Iterable[int]) -> "Graph":
+        """Return the subgraph induced by ``vertices`` (relabelled to 0..k-1)."""
+        selected = sorted(set(vertices))
+        for v in selected:
+            if not self.has_vertex(v):
+                raise GraphError(f"vertex {v} not in graph")
+        remap = {old: new for new, old in enumerate(selected)}
+        labels = [self._labels[v] for v in selected]
+        edges = [
+            (remap[u], remap[v])
+            for u, v in self._edges
+            if u in remap and v in remap
+        ]
+        return Graph(labels=labels, edges=edges)
+
+    def edge_subgraph(self, edges: Iterable[Tuple[int, int]]) -> "Graph":
+        """Return the subgraph spanned by ``edges`` (vertices relabelled)."""
+        chosen: List[Edge] = []
+        vertex_set: set = set()
+        for u, v in edges:
+            if not self.has_edge(u, v):
+                raise GraphError(f"edge ({u}, {v}) not in graph")
+            chosen.append(_normalize_edge(u, v))
+            vertex_set.add(u)
+            vertex_set.add(v)
+        selected = sorted(vertex_set)
+        remap = {old: new for new, old in enumerate(selected)}
+        labels = [self._labels[v] for v in selected]
+        remapped = [(remap[u], remap[v]) for u, v in sorted(set(chosen))]
+        return Graph(labels=labels, edges=remapped)
+
+    def relabelled(self, mapping: Dict[int, object]) -> "Graph":
+        """Return a copy where vertices in ``mapping`` get new labels."""
+        labels = list(self._labels)
+        for vertex, label in mapping.items():
+            if not self.has_vertex(vertex):
+                raise GraphError(f"vertex {vertex} not in graph")
+            labels[vertex] = label
+        return Graph(labels=labels, edges=self._edges, graph_id=self._graph_id)
+
+    # ------------------------------------------------------------------ #
+    # Identity, hashing, representation
+    # ------------------------------------------------------------------ #
+    def structure_key(self) -> Tuple[Tuple[object, ...], Tuple[Edge, ...]]:
+        """Key capturing the exact labelled structure (not isomorphism class)."""
+        return (self._labels, self._edges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._labels == other._labels and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._labels, self._edges))
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(len(self._labels)))
+
+    def __repr__(self) -> str:
+        ident = f" id={self._graph_id!r}" if self._graph_id is not None else ""
+        return f"<Graph{ident} |V|={self.order} |E|={self.size}>"

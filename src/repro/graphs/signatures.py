@@ -1,0 +1,90 @@
+"""Cheap structural summaries and necessary-condition checks.
+
+Subgraph isomorphism is NP-complete, so every layer of the system first
+applies *necessary conditions* that are cheap to evaluate:
+
+* a query cannot be contained in a dataset graph that has fewer vertices,
+  fewer edges, or fewer occurrences of some vertex label;
+* degree sequences must dominate element-wise after sorting;
+* per-label degree profiles must be matchable.
+
+These checks can only ever rule containment *out* — they never prove it — and
+are used by the SI matchers as a fast pre-filter and by tests as sanity
+oracles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .graph import Graph
+
+__all__ = [
+    "could_be_subgraph",
+    "label_histogram_dominates",
+    "degree_sequence_dominates",
+    "vertex_signature",
+    "graph_signature",
+]
+
+
+def label_histogram_dominates(small: Graph, large: Graph) -> bool:
+    """Return ``True`` if ``large`` has at least as many vertices of every label of ``small``."""
+    for label, count in small.label_histogram.items():
+        if large.label_count(label) < count:
+            return False
+    return True
+
+
+def degree_sequence_dominates(small: Graph, large: Graph) -> bool:
+    """Return ``True`` if ``large``'s degree sequence dominates ``small``'s.
+
+    For non-induced subgraph isomorphism, the i-th largest degree of the
+    pattern can never exceed the i-th largest degree of the target.
+    """
+    small_seq = small.degree_sequence()
+    large_seq = large.degree_sequence()
+    if len(small_seq) > len(large_seq):
+        return False
+    return all(s <= l for s, l in zip(small_seq, large_seq))
+
+
+def could_be_subgraph(pattern: Graph, target: Graph) -> bool:
+    """Fast necessary-condition check for ``pattern ⊆ target``.
+
+    Returns ``False`` only when containment is provably impossible; ``True``
+    means "maybe" and must be confirmed by a full sub-iso test.
+    """
+    if pattern.order > target.order or pattern.size > target.size:
+        return False
+    if not label_histogram_dominates(pattern, target):
+        return False
+    if not degree_sequence_dominates(pattern, target):
+        return False
+    return True
+
+
+def vertex_signature(graph: Graph, vertex: int) -> Tuple[object, int, Tuple[object, ...]]:
+    """Signature of a vertex: (label, degree, sorted multiset of neighbour labels).
+
+    Used by GraphQL-style pruning: a pattern vertex can only map onto a target
+    vertex whose signature *covers* it (same label, ≥ degree, neighbour-label
+    multiset containment).
+    """
+    neighbour_labels = tuple(sorted(repr(graph.label(n)) for n in graph.neighbors(vertex)))
+    return (graph.label(vertex), graph.degree(vertex), neighbour_labels)
+
+
+def graph_signature(graph: Graph) -> Dict[str, object]:
+    """Order-invariant structural summary of a graph.
+
+    Two isomorphic graphs always produce equal signatures (the converse does
+    not hold).  Used in tests and as a cheap bucketing key.
+    """
+    label_hist = tuple(sorted((repr(k), v) for k, v in graph.label_histogram.items()))
+    return {
+        "order": graph.order,
+        "size": graph.size,
+        "degree_sequence": graph.degree_sequence(),
+        "label_histogram": label_hist,
+    }

@@ -1,0 +1,122 @@
+"""Embedding enumeration: find every occurrence of a pattern in a target.
+
+Subgraph *queries* only need the decision problem, but the matching problem
+(all occurrences) is useful for analytics on top of the answer set, for the
+Grapes-style "stop after first match" comparison the paper mentions, and for
+tests (the number of embeddings is an isomorphism invariant that all matchers
+must agree on).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..graphs.graph import Graph
+from .base import SearchBudget
+from .vf2_plus import VF2PlusMatcher
+
+__all__ = ["iter_embeddings", "count_embeddings", "find_all_embeddings"]
+
+
+def iter_embeddings(
+    pattern: Graph,
+    target: Graph,
+    budget: Optional[SearchBudget] = None,
+) -> Iterator[Dict[int, int]]:
+    """Yield every injective, label-preserving, edge-preserving embedding.
+
+    Embeddings are yielded as ``pattern vertex -> target vertex`` dictionaries.
+    Two embeddings that differ only by an automorphism of the pattern are
+    reported separately (standard "all distinct injections" semantics).
+    """
+    if pattern.order == 0:
+        yield {}
+        return
+    budget = budget or SearchBudget()
+    budget.start()
+
+    matcher = VF2PlusMatcher()
+    order = matcher._order(pattern, target)
+    position_of = {vertex: pos for pos, vertex in enumerate(order)}
+    mapped_neighbors: List[List[int]] = [
+        [nb for nb in pattern.neighbors(vertex) if position_of[nb] < pos]
+        for pos, vertex in enumerate(order)
+    ]
+
+    mapping: Dict[int, int] = {}
+    used: set = set()
+
+    def candidates(pos: int) -> List[int]:
+        vertex = order[pos]
+        anchors = mapped_neighbors[pos]
+        if anchors:
+            sets = sorted((target.neighbors(mapping[a]) for a in anchors), key=len)
+            pool = set(sets[0])
+            for other in sets[1:]:
+                pool &= other
+                if not pool:
+                    break
+        else:
+            pool = set(range(target.order))
+        label = pattern.label(vertex)
+        degree = pattern.degree(vertex)
+        return sorted(
+            t
+            for t in pool
+            if t not in used
+            and target.label(t) == label
+            and target.degree(t) >= degree
+        )
+
+    def backtrack(pos: int) -> Iterator[Dict[int, int]]:
+        if pos == len(order):
+            yield dict(mapping)
+            return
+        vertex = order[pos]
+        for candidate in candidates(pos):
+            budget.tick()
+            ok = True
+            for neighbour in pattern.neighbors(vertex):
+                image = mapping.get(neighbour)
+                if image is not None and not target.has_edge(candidate, image):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            mapping[vertex] = candidate
+            used.add(candidate)
+            yield from backtrack(pos + 1)
+            del mapping[vertex]
+            used.discard(candidate)
+
+    yield from backtrack(0)
+
+
+def count_embeddings(
+    pattern: Graph,
+    target: Graph,
+    limit: Optional[int] = None,
+    budget: Optional[SearchBudget] = None,
+) -> int:
+    """Count embeddings of ``pattern`` in ``target`` (up to ``limit`` if given)."""
+    count = 0
+    for _ in iter_embeddings(pattern, target, budget=budget):
+        count += 1
+        if limit is not None and count >= limit:
+            break
+    return count
+
+
+def find_all_embeddings(
+    pattern: Graph,
+    target: Graph,
+    limit: Optional[int] = None,
+    budget: Optional[SearchBudget] = None,
+) -> List[Dict[int, int]]:
+    """Materialise embeddings of ``pattern`` in ``target`` (up to ``limit``)."""
+    result: List[Dict[int, int]] = []
+    for embedding in iter_embeddings(pattern, target, budget=budget):
+        result.append(embedding)
+        if limit is not None and len(result) >= limit:
+            break
+    return result

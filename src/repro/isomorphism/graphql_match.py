@@ -1,0 +1,165 @@
+"""GraphQL-style subgraph matching (He & Singh, 2008).
+
+GraphQL (the *graph query language* system, not the web API) is one of the SI
+methods evaluated by the paper.  Its matcher differs from VF2 in two ways that
+we reproduce here:
+
+1. **Neighbourhood-signature pruning.**  Before search, every pattern vertex
+   gets a candidate set of target vertices whose label matches and whose
+   *neighbour-label multiset* covers the pattern vertex's neighbour-label
+   multiset (a 1-hop profile test).  Candidate sets are then refined by
+   iterative pseudo-isomorphism checking: a candidate survives only if there
+   is a semi-perfect matching between the pattern vertex's neighbours and the
+   candidate's neighbours' candidate sets (approximated here by bipartite
+   feasibility via Hall-style counting).
+2. **Search-order optimisation.**  The backtracking search maps pattern
+   vertices in ascending order of candidate-set size (most selective first),
+   refined at each level.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional
+
+from ..graphs.graph import Graph
+from .base import SearchBudget, SubgraphMatcher
+
+__all__ = ["GraphQLMatcher"]
+
+
+def _neighbour_label_counter(graph: Graph, vertex: int) -> Counter:
+    return Counter(graph.label(n) for n in graph.neighbors(vertex))
+
+
+def _counter_covers(big: Counter, small: Counter) -> bool:
+    """Return True if multiset ``big`` contains multiset ``small``."""
+    return all(big.get(label, 0) >= count for label, count in small.items())
+
+
+class GraphQLMatcher(SubgraphMatcher):
+    """GraphQL-style matcher: profile pruning + selectivity-ordered search."""
+
+    name = "graphql"
+
+    #: Number of global refinement sweeps applied before search.
+    refinement_rounds = 2
+
+    def _initial_candidates(self, pattern: Graph, target: Graph) -> List[set]:
+        pattern_profiles = [
+            _neighbour_label_counter(pattern, v) for v in pattern.vertices()
+        ]
+        target_profiles = [
+            _neighbour_label_counter(target, v) for v in target.vertices()
+        ]
+        candidates: List[set] = []
+        for p_vertex in pattern.vertices():
+            label = pattern.label(p_vertex)
+            degree = pattern.degree(p_vertex)
+            profile = pattern_profiles[p_vertex]
+            cset = {
+                t_vertex
+                for t_vertex in target.vertices_with_label(label)
+                if target.degree(t_vertex) >= degree
+                and _counter_covers(target_profiles[t_vertex], profile)
+            }
+            candidates.append(cset)
+        return candidates
+
+    def _refine(self, pattern: Graph, target: Graph, candidates: List[set]) -> bool:
+        """Pseudo-isomorphism refinement: neighbours must be coverable.
+
+        A candidate ``t`` for pattern vertex ``p`` survives a round if every
+        pattern neighbour of ``p`` has at least one of its own candidates
+        inside the target neighbourhood of ``t``.  (This is the 1-round
+        approximation of GraphQL's bipartite semi-perfect matching test; it is
+        sound — it never removes a true match.)
+        """
+        for _ in range(self.refinement_rounds):
+            changed = False
+            for p_vertex in pattern.vertices():
+                survivors = set()
+                for t_candidate in candidates[p_vertex]:
+                    ok = True
+                    t_neighbourhood = target.neighbors(t_candidate)
+                    for p_neighbour in pattern.neighbors(p_vertex):
+                        if not (candidates[p_neighbour] & t_neighbourhood):
+                            ok = False
+                            break
+                    if ok:
+                        survivors.add(t_candidate)
+                if len(survivors) != len(candidates[p_vertex]):
+                    candidates[p_vertex] = survivors
+                    changed = True
+                    if not survivors:
+                        return False
+            if not changed:
+                break
+        return True
+
+    def _search_order(self, pattern: Graph, candidates: List[set]) -> List[int]:
+        """Order pattern vertices by increasing candidate-set size, keeping
+        connectivity: after the first vertex, prefer vertices adjacent to the
+        already-ordered prefix."""
+        n = pattern.order
+        ordered: List[int] = []
+        placed = set()
+        remaining = set(range(n))
+        while remaining:
+            adjacent = {
+                v
+                for v in remaining
+                if any(nb in placed for nb in pattern.neighbors(v))
+            }
+            pool = adjacent if adjacent else remaining
+            vertex = min(pool, key=lambda v: (len(candidates[v]), v))
+            ordered.append(vertex)
+            placed.add(vertex)
+            remaining.discard(vertex)
+        return ordered
+
+    def _search(
+        self,
+        pattern: Graph,
+        target: Graph,
+        budget: SearchBudget,
+        want_embedding: bool,
+    ) -> Optional[Dict[int, int]]:
+        candidates = self._initial_candidates(pattern, target)
+        if any(not c for c in candidates):
+            return None
+        if not self._refine(pattern, target, candidates):
+            return None
+
+        order = self._search_order(pattern, candidates)
+        n = len(order)
+        mapping: Dict[int, int] = {}
+        used: set = set()
+
+        def backtrack(pos: int) -> bool:
+            if pos == n:
+                return True
+            vertex = order[pos]
+            pool = candidates[vertex]
+            # Restrict by adjacency to already-mapped neighbours.
+            for neighbour in pattern.neighbors(vertex):
+                image = mapping.get(neighbour)
+                if image is not None:
+                    pool = pool & target.neighbors(image)
+                    if not pool:
+                        return False
+            for candidate in sorted(pool):
+                if candidate in used:
+                    continue
+                budget.tick()
+                mapping[vertex] = candidate
+                used.add(candidate)
+                if backtrack(pos + 1):
+                    return True
+                del mapping[vertex]
+                used.discard(candidate)
+            return False
+
+        if backtrack(0):
+            return dict(mapping)
+        return None

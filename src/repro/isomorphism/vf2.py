@@ -1,0 +1,152 @@
+"""VF2: backtracking subgraph-isomorphism search (Cordella et al., 2004).
+
+This is the "vanilla VF2" verifier that most FTV implementations bundle
+(GraphGrepSX, Grapes) and one of the SI methods evaluated in the paper.  The
+implementation solves the *non-induced* decision problem on vertex-labelled
+undirected graphs:
+
+* pattern vertices are mapped in a connectivity-preserving static order
+  (each vertex after the first of its component has an already-mapped
+  neighbour);
+* a candidate target vertex must carry the same label, have sufficient
+  degree, not be used already, and be adjacent to the images of all mapped
+  pattern neighbours;
+* a standard one-step look-ahead prunes candidates whose unmapped
+  neighbourhood cannot cover the pattern vertex's unmapped neighbourhood.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..graphs.graph import Graph
+from .base import SearchBudget, SubgraphMatcher
+
+__all__ = ["VF2Matcher"]
+
+
+def connectivity_order(pattern: Graph, priority: Optional[Sequence[float]] = None) -> List[int]:
+    """Return a vertex order where each vertex has a previously-ordered neighbour.
+
+    ``priority`` (higher = earlier) breaks ties among frontier vertices; by
+    default vertices are taken in id order, which reproduces the behaviour of
+    the original VF2 on its input ordering.
+    """
+    n = pattern.order
+    if n == 0:
+        return []
+    if priority is None:
+        priority = [0.0] * n
+    ordered: List[int] = []
+    placed = [False] * n
+    remaining = set(range(n))
+    while remaining:
+        # Start a new component at the highest-priority remaining vertex.
+        start = max(remaining, key=lambda v: (priority[v], -v))
+        component_frontier = {start}
+        while component_frontier:
+            vertex = max(component_frontier, key=lambda v: (priority[v], -v))
+            component_frontier.discard(vertex)
+            if placed[vertex]:
+                continue
+            placed[vertex] = True
+            ordered.append(vertex)
+            remaining.discard(vertex)
+            for neighbour in pattern.neighbors(vertex):
+                if not placed[neighbour]:
+                    component_frontier.add(neighbour)
+    return ordered
+
+
+class VF2Matcher(SubgraphMatcher):
+    """Vanilla VF2 for non-induced, vertex-labelled subgraph isomorphism."""
+
+    name = "vf2"
+
+    def _order(self, pattern: Graph, target: Graph) -> List[int]:
+        """Pattern vertex processing order; subclasses override to reorder."""
+        return connectivity_order(pattern)
+
+    def _search(
+        self,
+        pattern: Graph,
+        target: Graph,
+        budget: SearchBudget,
+        want_embedding: bool,
+    ) -> Optional[Dict[int, int]]:
+        order = self._order(pattern, target)
+        n = len(order)
+        mapping: Dict[int, int] = {}
+        used_targets: set = set()
+
+        # Precompute, for each position, the pattern neighbours already mapped
+        # when that position is reached: they drive candidate generation.
+        position_of = {vertex: pos for pos, vertex in enumerate(order)}
+        mapped_neighbors: List[List[int]] = []
+        for pos, vertex in enumerate(order):
+            mapped_neighbors.append(
+                [nb for nb in pattern.neighbors(vertex) if position_of[nb] < pos]
+            )
+
+        def candidates(pos: int) -> List[int]:
+            vertex = order[pos]
+            anchors = mapped_neighbors[pos]
+            if anchors:
+                # Intersect neighbourhoods of the images of mapped neighbours.
+                sets = sorted(
+                    (target.neighbors(mapping[a]) for a in anchors), key=len
+                )
+                result = set(sets[0])
+                for other in sets[1:]:
+                    result &= other
+                    if not result:
+                        break
+                pool = result
+            else:
+                pool = range(target.order)
+            label = pattern.label(vertex)
+            degree = pattern.degree(vertex)
+            return [
+                t
+                for t in pool
+                if t not in used_targets
+                and target.label(t) == label
+                and target.degree(t) >= degree
+            ]
+
+        def feasible(vertex: int, candidate: int) -> bool:
+            # Adjacency consistency with every already-mapped pattern neighbour.
+            for neighbour in pattern.neighbors(vertex):
+                image = mapping.get(neighbour)
+                if image is not None and not target.has_edge(candidate, image):
+                    return False
+            # One-step look-ahead: the candidate must have at least as many
+            # unmapped neighbours as the pattern vertex (necessary condition
+            # for extending the mapping later).
+            unmapped_pattern = sum(
+                1 for nb in pattern.neighbors(vertex) if nb not in mapping
+            )
+            unmapped_target = sum(
+                1 for nb in target.neighbors(candidate) if nb not in used_targets
+            )
+            return unmapped_target >= unmapped_pattern
+
+        def backtrack(pos: int) -> bool:
+            if pos == n:
+                return True
+            vertex = order[pos]
+            for candidate in candidates(pos):
+                budget.tick()
+                if not feasible(vertex, candidate):
+                    continue
+                mapping[vertex] = candidate
+                used_targets.add(candidate)
+                if backtrack(pos + 1):
+                    return True
+                del mapping[vertex]
+                used_targets.discard(candidate)
+            return False
+
+        if backtrack(0):
+            return dict(mapping)
+        return None

@@ -1,0 +1,33 @@
+"""VF2+: VF2 with frequency- and degree-aware pattern vertex ordering.
+
+The paper's "VF2+" is the modified VF2 shipped with CT-Index [14]: the search
+is the same backtracking procedure as VF2, but pattern vertices are visited in
+an order that maps the most constrained vertices first — those whose label is
+rare in the target and whose degree is high.  This typically shrinks the
+search tree dramatically on label-rich datasets such as AIDS.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graphs.graph import Graph
+from .vf2 import VF2Matcher, connectivity_order
+
+__all__ = ["VF2PlusMatcher"]
+
+
+class VF2PlusMatcher(VF2Matcher):
+    """VF2 with rarity-first, highest-degree-first vertex ordering."""
+
+    name = "vf2plus"
+
+    def _order(self, pattern: Graph, target: Graph) -> List[int]:
+        total = max(1, target.order)
+        priorities = []
+        for vertex in pattern.vertices():
+            frequency = target.label_count(pattern.label(vertex)) / total
+            # Rare labels and high degrees are the most selective; the small
+            # frequency term dominates, degree breaks ties.
+            priorities.append((1.0 - frequency) * 1000.0 + pattern.degree(vertex))
+        return connectivity_order(pattern, priority=priorities)

@@ -1,0 +1,29 @@
+"""Workload generators: Type A (BFS/Zipf) and Type B (no-answer pools)."""
+
+from .base import Workload, extract_query_bfs, extract_query_random_walk
+from .io import load_workload, save_workload
+from .type_a import (
+    LARGE_DATASET_QUERY_SIZES,
+    SMALL_DATASET_QUERY_SIZES,
+    TypeAWorkloadGenerator,
+    generate_type_a,
+)
+from .type_b import QueryPools, TypeBWorkloadGenerator, generate_type_b
+from .zipf import ZipfSampler, zipf_weights
+
+__all__ = [
+    "Workload",
+    "extract_query_bfs",
+    "extract_query_random_walk",
+    "load_workload",
+    "save_workload",
+    "TypeAWorkloadGenerator",
+    "generate_type_a",
+    "SMALL_DATASET_QUERY_SIZES",
+    "LARGE_DATASET_QUERY_SIZES",
+    "QueryPools",
+    "TypeBWorkloadGenerator",
+    "generate_type_b",
+    "ZipfSampler",
+    "zipf_weights",
+]

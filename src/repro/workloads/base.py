@@ -1,0 +1,143 @@
+"""Workload containers and shared query-extraction helpers.
+
+A *workload* is an ordered sequence of query graphs, generated from a dataset
+by one of the paper's two generators (Type A, Type B).  The shared extraction
+primitives live here: BFS-based query extraction (Type A) and random-walk
+extraction (Type B pools).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import WorkloadError
+from ..graphs.graph import Graph
+
+__all__ = ["Workload", "extract_query_bfs", "extract_query_random_walk"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An ordered list of query graphs plus descriptive metadata."""
+
+    name: str
+    queries: Tuple[Graph, ...]
+    dataset_name: str
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[Graph]:
+        return iter(self.queries)
+
+    def __getitem__(self, index: int) -> Graph:
+        return self.queries[index]
+
+    def describe(self) -> str:
+        """One-line description used in benchmark reports."""
+        params = ", ".join(f"{k}={v}" for k, v in sorted(self.parameters.items()))
+        return f"{self.name} on {self.dataset_name} ({len(self.queries)} queries; {params})"
+
+
+def extract_query_bfs(
+    source: Graph,
+    start_vertex: int,
+    target_edges: int,
+    rng: Optional[random.Random] = None,
+) -> Optional[Graph]:
+    """Extract a connected query of ``target_edges`` edges by BFS (Type A, §7.2).
+
+    Starting from ``start_vertex`` a BFS visits the source graph; each newly
+    visited vertex contributes the edges linking it to already-visited
+    vertices, one at a time, until the requested number of edges is collected.
+    Returns ``None`` if the start vertex's component is too small.
+
+    Extraction is **deterministic** for a given ``(source, start_vertex,
+    target_edges)`` unless an ``rng`` is supplied: the same popular
+    (graph, node, size) triple always produces the same query graph, and
+    queries of different sizes from the same start are nested.  This is what
+    gives skewed workloads their exact-match and subgraph/supergraph cache
+    hits — the very relationships GraphCache exploits (§1, §7.2).
+    """
+    if target_edges <= 0:
+        raise WorkloadError("target_edges must be positive")
+    if not source.has_vertex(start_vertex):
+        raise WorkloadError(f"start vertex {start_vertex} not in source graph")
+
+    visited = [start_vertex]
+    visited_set = {start_vertex}
+    chosen_edges: List[Tuple[int, int]] = []
+    frontier = [start_vertex]
+
+    while frontier and len(chosen_edges) < target_edges:
+        current = frontier.pop(0)
+        neighbours = sorted(source.neighbors(current))
+        if rng is not None:
+            rng.shuffle(neighbours)
+        for neighbour in neighbours:
+            if neighbour in visited_set:
+                continue
+            # Add the edges connecting the new vertex to visited vertices.
+            connecting = [
+                (neighbour, other)
+                for other in visited
+                if source.has_edge(neighbour, other)
+            ]
+            if rng is not None:
+                rng.shuffle(connecting)
+            visited.append(neighbour)
+            visited_set.add(neighbour)
+            frontier.append(neighbour)
+            for edge in connecting:
+                if len(chosen_edges) >= target_edges:
+                    break
+                chosen_edges.append(edge)
+            if len(chosen_edges) >= target_edges:
+                break
+
+    if len(chosen_edges) < target_edges:
+        return None
+    return source.edge_subgraph(chosen_edges)
+
+
+def extract_query_random_walk(
+    source: Graph,
+    start_vertex: int,
+    target_edges: int,
+    rng: random.Random,
+    max_steps: Optional[int] = None,
+) -> Optional[Graph]:
+    """Extract a connected query of ``target_edges`` edges by random walk (Type B, §7.2).
+
+    A random walk starts at ``start_vertex``; every traversed edge that is not
+    yet part of the query is added until the requested size is reached.
+    Returns ``None`` if the walk cannot collect enough distinct edges within
+    ``max_steps`` steps (dead ends in tiny components).
+    """
+    if target_edges <= 0:
+        raise WorkloadError("target_edges must be positive")
+    if not source.has_vertex(start_vertex):
+        raise WorkloadError(f"start vertex {start_vertex} not in source graph")
+    max_steps = max_steps if max_steps is not None else 50 * target_edges
+
+    current = start_vertex
+    chosen: List[Tuple[int, int]] = []
+    chosen_set: set = set()
+    for _ in range(max_steps):
+        if len(chosen) >= target_edges:
+            break
+        neighbours = list(source.neighbors(current))
+        if not neighbours:
+            break
+        nxt = rng.choice(neighbours)
+        edge = (current, nxt) if current < nxt else (nxt, current)
+        if edge not in chosen_set:
+            chosen_set.add(edge)
+            chosen.append(edge)
+        current = nxt
+    if len(chosen) < target_edges:
+        return None
+    return source.edge_subgraph(chosen)

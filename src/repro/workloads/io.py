@@ -1,0 +1,66 @@
+"""Workload serialisation.
+
+Workload generation involves randomness (and, for Type B pools, sub-iso
+testing), so being able to generate a workload once and replay it across
+experiments and machines matters both for performance and for reproducibility
+— the paper's evaluation reuses the same generated workloads across every
+method and configuration.  Workloads are stored as a single JSON document
+embedding each query graph in the same transaction text format used for
+datasets.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..exceptions import WorkloadError
+from ..graphs.io import graph_from_text, graph_to_text
+from .base import Workload
+
+__all__ = ["save_workload", "load_workload"]
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_workload(workload: Workload, path: PathLike) -> None:
+    """Write ``workload`` to ``path`` as a JSON document."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "name": workload.name,
+        "dataset_name": workload.dataset_name,
+        "parameters": {key: _jsonable(value) for key, value in workload.parameters.items()},
+        "queries": [graph_to_text(query) for query in workload.queries],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def load_workload(path: PathLike) -> Workload:
+    """Read a workload previously written by :func:`save_workload`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise WorkloadError(f"cannot read workload file {path}: {exc}") from exc
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise WorkloadError(
+            f"unsupported workload format version {payload.get('format_version')!r}"
+        )
+    queries = tuple(graph_from_text(text) for text in payload["queries"])
+    if not queries:
+        raise WorkloadError(f"workload file {path} contains no queries")
+    return Workload(
+        name=payload["name"],
+        queries=queries,
+        dataset_name=payload["dataset_name"],
+        parameters=dict(payload.get("parameters", {})),
+    )
+
+
+def _jsonable(value: object) -> object:
+    """Convert tuples (etc.) to JSON-friendly forms, preserving scalars."""
+    if isinstance(value, tuple):
+        return list(value)
+    return value

@@ -1,0 +1,201 @@
+"""Type B workloads: query pools with a controlled fraction of no-answer queries (§7.2).
+
+Two query pools are built per dataset:
+
+* an **answer pool** of queries extracted from dataset graphs by random walks
+  (start node chosen uniformly over all nodes of all dataset graphs) — these
+  are guaranteed to have a non-empty answer set;
+* a **no-answer pool**: extracted queries whose node labels are repeatedly
+  replaced by random labels from the dataset's alphabet until the query has a
+  non-empty candidate set (it cannot be ruled out by cheap label-count
+  filtering) but an empty answer set (no dataset graph actually contains it).
+
+A workload is then a sequence of draws: first a biased coin selects the pool
+(the no-answer pool with probability 0%, 20% or 50%), then a Zipf-distributed
+index selects a query from the chosen pool — so popular queries repeat, which
+is what gives a cache something to work with.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import WorkloadError
+from ..graphs.dataset import GraphDataset
+from ..graphs.graph import Graph
+from ..graphs.signatures import could_be_subgraph
+from ..isomorphism.base import SubgraphMatcher
+from ..isomorphism.vf2_plus import VF2PlusMatcher
+from .base import Workload, extract_query_random_walk
+from .zipf import ZipfSampler
+
+__all__ = ["QueryPools", "TypeBWorkloadGenerator", "generate_type_b"]
+
+
+class QueryPools:
+    """The answer / no-answer query pools behind Type B workloads."""
+
+    def __init__(
+        self,
+        dataset: GraphDataset,
+        query_sizes: Sequence[int],
+        answer_pool_size: int = 100,
+        no_answer_pool_size: int = 30,
+        seed: int = 0,
+        matcher: Optional[SubgraphMatcher] = None,
+    ) -> None:
+        if not query_sizes:
+            raise WorkloadError("query_sizes must not be empty")
+        if answer_pool_size <= 0 or no_answer_pool_size <= 0:
+            raise WorkloadError("pool sizes must be positive")
+        self._dataset = dataset
+        self._query_sizes = tuple(int(size) for size in query_sizes)
+        self._rng = random.Random(seed)
+        self._matcher = matcher or VF2PlusMatcher()
+        self._labels = sorted(str(label) for label in dataset.label_alphabet())
+        # Global node population: (graph_id, vertex) pairs for uniform start
+        # node selection across all nodes of all dataset graphs.
+        self._node_population: List[Tuple[int, int]] = [
+            (graph.graph_id, vertex)
+            for graph in dataset
+            for vertex in graph.vertices()
+        ]
+        self.answer_pool: List[Graph] = self._build_answer_pool(answer_pool_size)
+        self.no_answer_pool: List[Graph] = self._build_no_answer_pool(no_answer_pool_size)
+
+    # ------------------------------------------------------------------ #
+    def _extract(self) -> Optional[Graph]:
+        graph_id, vertex = self._rng.choice(self._node_population)
+        source = self._dataset[graph_id]
+        size = min(self._rng.choice(self._query_sizes), source.size)
+        if size <= 0:
+            return None
+        return extract_query_random_walk(source, vertex, size, self._rng)
+
+    def _build_answer_pool(self, pool_size: int) -> List[Graph]:
+        pool: List[Graph] = []
+        attempts = 0
+        while len(pool) < pool_size and attempts < 200 * pool_size:
+            attempts += 1
+            query = self._extract()
+            if query is not None:
+                pool.append(query)
+        if len(pool) < pool_size:
+            raise WorkloadError(
+                f"could only extract {len(pool)} of {pool_size} answer-pool queries"
+            )
+        return pool
+
+    def _has_empty_answer(self, query: Graph) -> Tuple[bool, bool]:
+        """Return ``(candidate_set_non_empty, answer_set_empty)`` for ``query``."""
+        candidates = [
+            graph for graph in self._dataset if could_be_subgraph(query, graph)
+        ]
+        if not candidates:
+            return False, True
+        for graph in candidates:
+            if self._matcher.is_subgraph(query, graph):
+                return True, False
+        return True, True
+
+    def _build_no_answer_pool(self, pool_size: int) -> List[Graph]:
+        pool: List[Graph] = []
+        attempts = 0
+        while len(pool) < pool_size and attempts < 500 * pool_size:
+            attempts += 1
+            base = self._extract()
+            if base is None:
+                continue
+            # Relabel nodes with random dataset labels until the query keeps a
+            # non-empty candidate set but loses every answer.
+            query = base
+            for _ in range(30):
+                relabelled = query.relabelled(
+                    {
+                        vertex: self._rng.choice(self._labels)
+                        for vertex in query.vertices()
+                    }
+                )
+                non_empty_candidates, empty_answer = self._has_empty_answer(relabelled)
+                if non_empty_candidates and empty_answer:
+                    pool.append(relabelled)
+                    break
+                query = relabelled
+        if len(pool) < pool_size:
+            raise WorkloadError(
+                f"could only build {len(pool)} of {pool_size} no-answer-pool queries"
+            )
+        return pool
+
+
+class TypeBWorkloadGenerator:
+    """Generator of Type B workloads from pre-built query pools."""
+
+    def __init__(
+        self,
+        pools: QueryPools,
+        no_answer_probability: float = 0.2,
+        alpha: float = 1.4,
+        seed: int = 0,
+    ) -> None:
+        if not (0.0 <= no_answer_probability <= 1.0):
+            raise WorkloadError("no_answer_probability must be in [0, 1]")
+        self._pools = pools
+        self._probability = no_answer_probability
+        self._alpha = alpha
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._answer_sampler = ZipfSampler(len(pools.answer_pool), alpha, self._rng)
+        self._no_answer_sampler = ZipfSampler(
+            len(pools.no_answer_pool), alpha, self._rng
+        )
+
+    def generate(self, query_count: int, dataset_name: str = "dataset") -> Workload:
+        """Generate a workload of ``query_count`` pool draws."""
+        if query_count <= 0:
+            raise WorkloadError("query_count must be positive")
+        queries: List[Graph] = []
+        for _ in range(query_count):
+            if self._rng.random() < self._probability:
+                index = self._no_answer_sampler.sample()
+                queries.append(self._pools.no_answer_pool[index])
+            else:
+                index = self._answer_sampler.sample()
+                queries.append(self._pools.answer_pool[index])
+        label = f"{int(round(self._probability * 100))}%"
+        return Workload(
+            name=f"TypeB-{label}",
+            queries=tuple(queries),
+            dataset_name=dataset_name,
+            parameters={
+                "no_answer_probability": self._probability,
+                "alpha": self._alpha,
+                "seed": self._seed,
+            },
+        )
+
+
+def generate_type_b(
+    dataset: GraphDataset,
+    no_answer_probability: float,
+    query_count: int,
+    query_sizes: Sequence[int],
+    alpha: float = 1.4,
+    seed: int = 0,
+    pools: Optional[QueryPools] = None,
+    answer_pool_size: int = 100,
+    no_answer_pool_size: int = 30,
+) -> Workload:
+    """Convenience wrapper: build pools (if not supplied) and a Type B workload."""
+    pools = pools or QueryPools(
+        dataset,
+        query_sizes=query_sizes,
+        answer_pool_size=answer_pool_size,
+        no_answer_pool_size=no_answer_pool_size,
+        seed=seed,
+    )
+    generator = TypeBWorkloadGenerator(
+        pools, no_answer_probability=no_answer_probability, alpha=alpha, seed=seed
+    )
+    return generator.generate(query_count, dataset_name=dataset.name)

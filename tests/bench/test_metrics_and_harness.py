@@ -1,0 +1,147 @@
+"""Tests for the benchmark metrics, harness and reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_baseline, run_cached, run_experiment
+from repro.bench.metrics import aggregate_baseline, aggregate_cached, speedup
+from repro.bench.reporting import format_series, format_table, print_figure, print_table
+from repro.core.config import GraphCacheConfig
+from repro.exceptions import BenchmarkError
+from repro.methods import SIMethod, execute_query
+from repro.workloads import generate_type_a
+
+
+@pytest.fixture(scope="module")
+def experiment_parts(tiny_dataset):
+    method = SIMethod(tiny_dataset, matcher="vf2plus")
+    workload = generate_type_a(tiny_dataset, "ZZ", 20, query_sizes=(3, 5), seed=3)
+    return method, workload
+
+
+class TestAggregates:
+    def test_aggregate_baseline(self, experiment_parts):
+        method, workload = experiment_parts
+        executions = [execute_query(method, q) for q in workload]
+        aggregate = aggregate_baseline(executions)
+        assert aggregate.query_count == len(workload)
+        assert aggregate.avg_subiso_tests == pytest.approx(len(method.dataset))
+        assert aggregate.total_time_s >= aggregate.avg_time_s
+        assert set(aggregate.as_dict()) >= {"avg_time_s", "avg_subiso_tests"}
+
+    def test_aggregate_cached(self, experiment_parts):
+        method, workload = experiment_parts
+        _, results = run_cached(
+            method, workload, GraphCacheConfig(cache_capacity=5, window_size=2)
+        )
+        aggregate = aggregate_cached(results)
+        assert aggregate.query_count == len(results)
+        assert 0.0 <= aggregate.cache_hit_rate <= 1.0
+
+    def test_empty_run_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_baseline([])
+        with pytest.raises(ValueError):
+            aggregate_cached([])
+
+    def test_speedup_ratios(self, experiment_parts):
+        method, workload = experiment_parts
+        executions = [execute_query(method, q) for q in workload]
+        baseline = aggregate_baseline(executions)
+        _, results = run_cached(
+            method, workload, GraphCacheConfig(cache_capacity=5, window_size=2)
+        )
+        report = speedup(baseline, aggregate_cached(results))
+        assert report.time_speedup > 0
+        assert report.subiso_speedup >= 1.0  # the cache never adds sub-iso tests
+        assert report.as_dict()["subiso_speedup"] == pytest.approx(report.subiso_speedup)
+
+
+class TestHarness:
+    def test_run_baseline_warmup_skipped(self, experiment_parts):
+        method, workload = experiment_parts
+        executions = run_baseline(method, workload, warmup_queries=5)
+        assert len(executions) == len(workload) - 5
+
+    def test_run_baseline_warmup_too_large(self, experiment_parts):
+        method, workload = experiment_parts
+        with pytest.raises(BenchmarkError):
+            run_baseline(method, workload, warmup_queries=len(workload))
+
+    def test_run_cached_returns_cache_and_results(self, experiment_parts):
+        method, workload = experiment_parts
+        cache, results = run_cached(
+            method, workload, GraphCacheConfig(cache_capacity=5, window_size=5)
+        )
+        assert len(results) == len(workload) - 5  # one warm-up window by default
+        assert cache.runtime_statistics.queries_processed == len(workload)
+
+    def test_run_cached_warmup_too_large(self, experiment_parts):
+        method, workload = experiment_parts
+        with pytest.raises(BenchmarkError):
+            run_cached(method, workload, warmup_queries=len(workload))
+
+    def test_run_experiment_end_to_end(self, experiment_parts):
+        method, workload = experiment_parts
+        result = run_experiment(
+            "unit-test",
+            method,
+            workload,
+            GraphCacheConfig(cache_capacity=5, window_size=2),
+        )
+        assert result.name == "unit-test"
+        assert result.method_name == method.name
+        assert result.subiso_speedup >= 1.0
+        row = result.summary_row()
+        assert row["experiment"] == "unit-test"
+        assert row["config"] == "c5-b2"
+
+    def test_run_experiment_with_shared_baseline(self, experiment_parts):
+        method, workload = experiment_parts
+        config = GraphCacheConfig(cache_capacity=5, window_size=2)
+        baseline = run_baseline(method, workload, warmup_queries=2)
+        result = run_experiment(
+            "shared", method, workload, config, baseline_executions=baseline
+        )
+        assert result.speedups.baseline.query_count == len(baseline)
+
+    def test_experiment_answers_match_baseline(self, experiment_parts):
+        """The harness itself must preserve the no-false-results guarantee."""
+        method, workload = experiment_parts
+        config = GraphCacheConfig(cache_capacity=5, window_size=2, warmup_windows=0)
+        result = run_experiment("answers", method, workload, config)
+        for execution, cached in zip(result.baseline_executions, result.cached_results):
+            assert execution.answer_ids == cached.answer_ids
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_explicit_columns(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_series(self):
+        series = {"ctindex": {"ZZ": 3.43, "UU": 1.29}, "ggsx": {"ZZ": 5.72}}
+        text = format_series(series)
+        assert "ctindex" in text and "ZZ" in text
+        assert "3.43" in text
+        assert "-" in text  # missing ggsx UU value
+
+    def test_format_series_empty(self):
+        assert format_series({}) == "(no series)"
+
+    def test_print_helpers_do_not_crash(self, capsys):
+        print_table([{"a": 1}], title="demo")
+        print_figure("Figure 0", "demo figure", {"s": {"x": 1.0}}, note="a note")
+        captured = capsys.readouterr().out
+        assert "demo" in captured and "Figure 0" in captured and "a note" in captured

@@ -1,0 +1,56 @@
+"""Tests for the benchmark scenario registry (cached datasets/methods/workloads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.scenarios import (
+    BENCH_DATASET_SCALES,
+    BENCH_QUERY_COUNTS,
+    BENCH_QUERY_SIZES,
+    bench_config,
+    get_dataset,
+    get_method,
+    type_a_workload,
+)
+
+
+class TestScenarioTables:
+    def test_every_dataset_has_all_parameters(self):
+        assert set(BENCH_DATASET_SCALES) == set(BENCH_QUERY_COUNTS) == set(BENCH_QUERY_SIZES)
+        assert set(BENCH_DATASET_SCALES) == {"aids", "pdbs", "pcm", "synthetic"}
+
+    def test_bench_config_defaults(self):
+        config = bench_config()
+        assert config.cache_capacity == 30
+        assert config.window_size == 10
+        assert config.replacement_policy == "hd"
+        assert config.warmup_windows == 1
+
+    def test_bench_config_overrides(self):
+        config = bench_config(policy="pin", cache_capacity=90, admission_control=True)
+        assert config.replacement_policy == "pin"
+        assert config.cache_capacity == 90
+        assert config.admission_control
+
+
+class TestCachedBuilders:
+    def test_get_dataset_memoised(self):
+        assert get_dataset("aids") is get_dataset("aids")
+
+    def test_get_method_memoised(self):
+        assert get_method("aids", "vf2plus") is get_method("aids", "vf2plus")
+
+    def test_dense_dataset_uses_shorter_paths(self):
+        method = get_method("pcm", "grapes6")
+        assert method.max_path_length == 3
+        assert method.verify_parallelism == 6
+
+    def test_sparse_dataset_uses_default_paths(self):
+        method = get_method("aids", "ggsx")
+        assert method.max_path_length == 4
+
+    def test_type_a_workload_size_and_memoisation(self):
+        workload = type_a_workload("aids", "ZZ", query_count=12, seed=3)
+        assert len(workload) == 12
+        assert type_a_workload("aids", "ZZ", query_count=12, seed=3) is workload

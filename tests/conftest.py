@@ -1,0 +1,99 @@
+"""Shared fixtures for the test suite.
+
+The fixtures provide small, deterministic graphs and datasets so that tests
+exercising NP-complete machinery (sub-iso, FTV filtering, the cache) stay
+fast.  Session-scoped fixtures are used for anything whose construction is
+not free (datasets, FTV indexes, query pools).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.generators import aids_like, pcm_like, random_connected_graph
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """A labelled triangle: C-C-O."""
+    return Graph(labels=["C", "C", "O"], edges=[(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """A 4-vertex labelled path: C-C-O-N."""
+    return Graph(labels=["C", "C", "O", "N"], edges=[(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def star_graph() -> Graph:
+    """A star with a C centre and three O leaves."""
+    return Graph(labels=["C", "O", "O", "O"], edges=[(0, 1), (0, 2), (0, 3)])
+
+
+@pytest.fixture
+def house_graph() -> Graph:
+    """A 5-vertex "house": a square with a triangular roof, all carbons."""
+    return Graph(
+        labels=["C"] * 5,
+        edges=[(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (2, 4)],
+    )
+
+
+def make_molecule(seed: int = 0, order: int = 12, degree: float = 2.2) -> Graph:
+    """Helper producing a random connected molecule-like graph."""
+    rng = random.Random(seed)
+    return random_connected_graph(
+        order=order,
+        average_degree=degree,
+        alphabet=["C", "N", "O", "S"],
+        rng=rng,
+    )
+
+
+@pytest.fixture
+def random_molecule() -> Graph:
+    """A deterministic 12-vertex molecule-like graph."""
+    return make_molecule(seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> GraphDataset:
+    """A 12-graph AIDS-like dataset for fast cache/FTV tests."""
+    return aids_like(scale=0.06, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> GraphDataset:
+    """A 30-graph AIDS-like dataset for integration tests."""
+    return aids_like(scale=0.15, seed=9)
+
+
+@pytest.fixture(scope="session")
+def dense_dataset() -> GraphDataset:
+    """A small dense PCM-like dataset (for admission-control tests)."""
+    return pcm_like(scale=0.15, seed=13)
+
+
+@pytest.fixture
+def handmade_dataset() -> GraphDataset:
+    """A tiny hand-made dataset with known containment structure.
+
+    * graph 0: a C-C-O triangle with a pendant N,
+    * graph 1: a C-C-O-N path,
+    * graph 2: a 6-cycle of alternating C/O with a pendant N,
+    * graph 3: a single C-C edge.
+    """
+    g0 = Graph(labels=["C", "C", "O", "N"], edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+    g1 = Graph(labels=["C", "C", "O", "N"], edges=[(0, 1), (1, 2), (2, 3)])
+    g2 = Graph(
+        labels=["C", "O", "C", "O", "C", "O", "N"],
+        edges=[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 6)],
+    )
+    g3 = Graph(labels=["C", "C"], edges=[(0, 1)])
+    return GraphDataset([g0, g1, g2, g3], name="handmade")

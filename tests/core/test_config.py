@@ -1,0 +1,79 @@
+"""Tests for GraphCacheConfig validation and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GraphCacheConfig
+from repro.exceptions import CacheError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = GraphCacheConfig()
+        assert config.cache_capacity == 100
+        assert config.window_size == 20
+        assert config.replacement_policy == "hd"
+        assert config.admission_control is False
+        assert config.query_mode == "subgraph"
+
+    def test_label(self):
+        assert GraphCacheConfig().label() == "c100-b20"
+        assert GraphCacheConfig(cache_capacity=500, window_size=20).label() == "c500-b20"
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field, value", [
+        ("cache_capacity", 0),
+        ("cache_capacity", -5),
+        ("window_size", 0),
+        ("admission_expensive_fraction", 0.0),
+        ("admission_expensive_fraction", 1.5),
+        ("admission_calibration_windows", 0),
+        ("index_path_length", 0),
+        ("warmup_windows", -1),
+    ])
+    def test_invalid_numeric_fields(self, field, value):
+        with pytest.raises(CacheError):
+            GraphCacheConfig(**{field: value})
+
+    def test_invalid_policy(self):
+        with pytest.raises(CacheError):
+            GraphCacheConfig(replacement_policy="mru")
+
+    def test_invalid_query_mode(self):
+        with pytest.raises(CacheError):
+            GraphCacheConfig(query_mode="bidirectional")
+
+    def test_policy_name_case_insensitive(self):
+        assert GraphCacheConfig(replacement_policy="PINC").replacement_policy == "PINC"
+
+
+class TestHelpers:
+    def test_with_policy(self):
+        config = GraphCacheConfig().with_policy("lru")
+        assert config.replacement_policy == "lru"
+        assert config.cache_capacity == 100
+
+    def test_with_capacity(self):
+        config = GraphCacheConfig().with_capacity(300)
+        assert config.cache_capacity == 300
+        assert config.window_size == 20
+
+    def test_with_capacity_and_window(self):
+        config = GraphCacheConfig().with_capacity(500, window_size=50)
+        assert (config.cache_capacity, config.window_size) == (500, 50)
+
+    def test_with_admission_control(self):
+        config = GraphCacheConfig().with_admission_control(True, expensive_fraction=0.4)
+        assert config.admission_control
+        assert config.admission_expensive_fraction == 0.4
+
+    def test_with_admission_control_threshold(self):
+        config = GraphCacheConfig().with_admission_control(True, threshold=5.0)
+        assert config.admission_threshold == 5.0
+
+    def test_original_config_unchanged(self):
+        base = GraphCacheConfig()
+        base.with_policy("pin")
+        assert base.replacement_policy == "hd"

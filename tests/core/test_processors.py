@@ -1,0 +1,92 @@
+"""Tests for the GCsub / GCsuper processors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.processors import CacheProcessors
+from repro.core.query_index import QueryGraphIndex
+from repro.graphs.graph import Graph
+
+
+def build_index(entries):
+    index = QueryGraphIndex(max_path_length=3)
+    for serial, graph in entries:
+        index.add(serial, graph)
+    return index
+
+
+CC_EDGE = Graph(labels=["C", "C"], edges=[(0, 1)])
+CCO_PATH = Graph(labels=["C", "C", "O"], edges=[(0, 1), (1, 2)])
+CCON_PATH = Graph(labels=["C", "C", "O", "N"], edges=[(0, 1), (1, 2), (2, 3)])
+CCO_TRIANGLE = Graph(labels=["C", "C", "O"], edges=[(0, 1), (1, 2), (0, 2)])
+
+
+class TestProcessorOutcome:
+    def test_new_query_is_subgraph_of_cached(self):
+        processors = CacheProcessors(build_index([(1, CCON_PATH)]))
+        outcome = processors.process(CCO_PATH)
+        assert outcome.result_sub == frozenset({1})
+        assert outcome.result_super == frozenset()
+        assert outcome.exact_match_serial is None
+        assert outcome.hit
+
+    def test_new_query_is_supergraph_of_cached(self):
+        processors = CacheProcessors(build_index([(1, CC_EDGE)]))
+        outcome = processors.process(CCO_PATH)
+        assert outcome.result_super == frozenset({1})
+        assert outcome.result_sub == frozenset()
+
+    def test_exact_match_detected(self):
+        processors = CacheProcessors(build_index([(1, CCO_PATH)]))
+        outcome = processors.process(Graph(labels=["O", "C", "C"], edges=[(0, 1), (1, 2)]))
+        assert outcome.exact_match_serial == 1
+        assert 1 in outcome.result_sub and 1 in outcome.result_super
+
+    def test_same_shape_but_not_isomorphic(self):
+        # Path C-C-O vs triangle C-C-O: same labels, but 2 vs 3 edges.
+        processors = CacheProcessors(build_index([(1, CCO_TRIANGLE)]))
+        outcome = processors.process(CCO_PATH)
+        assert outcome.exact_match_serial is None
+        assert outcome.result_sub == frozenset({1})  # path ⊆ triangle
+
+    def test_unrelated_query_no_hits(self):
+        processors = CacheProcessors(build_index([(1, CCO_PATH)]))
+        outcome = processors.process(Graph(labels=["S", "S"], edges=[(0, 1)]))
+        assert not outcome.hit
+        assert outcome.exact_match_serial is None
+
+    def test_multiple_relations(self):
+        index = build_index([(1, CC_EDGE), (2, CCON_PATH), (3, CCO_TRIANGLE)])
+        processors = CacheProcessors(index)
+        outcome = processors.process(CCO_PATH)
+        assert 1 in outcome.result_super       # C-C ⊆ query
+        assert 2 in outcome.result_sub          # query ⊆ C-C-O-N
+        assert 3 in outcome.result_sub          # query ⊆ triangle
+
+    def test_empty_index(self):
+        processors = CacheProcessors(build_index([]))
+        outcome = processors.process(CCO_PATH)
+        assert not outcome.hit
+        assert outcome.containment_tests == 0
+
+    def test_timing_and_test_counts_recorded(self):
+        processors = CacheProcessors(build_index([(1, CCON_PATH), (2, CC_EDGE)]))
+        outcome = processors.process(CCO_PATH)
+        assert outcome.elapsed_s >= 0.0
+        assert outcome.containment_tests >= 1
+
+    def test_exact_match_fast_path_limits_tests(self):
+        # When an identical query is cached, the processors stop at the first
+        # confirmation instead of testing every candidate.
+        index = build_index([(1, CCO_PATH), (2, CCON_PATH), (3, CC_EDGE)])
+        processors = CacheProcessors(index)
+        outcome = processors.process(CCO_PATH)
+        assert outcome.exact_match_serial == 1
+        assert outcome.containment_tests <= 2
+
+    def test_index_and_matcher_exposed(self):
+        index = build_index([(1, CC_EDGE)])
+        processors = CacheProcessors(index)
+        assert processors.index is index
+        assert processors.matcher.name == "vf2plus"

@@ -1,0 +1,106 @@
+"""Tests for GCindex (the combined sub/supergraph index over cached queries)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.query_index import QueryGraphIndex
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.graph import Graph
+from repro.isomorphism import VF2PlusMatcher
+
+MATCHER = VF2PlusMatcher()
+
+
+@pytest.fixture
+def index():
+    idx = QueryGraphIndex(max_path_length=3)
+    idx.add(1, Graph(labels=["C", "C", "O"], edges=[(0, 1), (1, 2)]))          # C-C-O path
+    idx.add(2, Graph(labels=["C", "C", "O", "N"], edges=[(0, 1), (1, 2), (2, 3)]))  # C-C-O-N path
+    idx.add(3, Graph(labels=["C", "C"], edges=[(0, 1)]))                        # C-C edge
+    return idx
+
+
+class TestMaintenance:
+    def test_add_and_contains(self, index):
+        assert len(index) == 3
+        assert 1 in index and 4 not in index
+        assert sorted(index.serials()) == [1, 2, 3]
+
+    def test_graph_accessor(self, index):
+        assert index.graph(3).size == 1
+
+    def test_remove(self, index):
+        index.remove(2)
+        assert len(index) == 2
+        assert 2 not in index
+        index.remove(2)  # no-op
+
+    def test_rebuild(self, index):
+        index.rebuild([(9, Graph(labels=["N", "N"], edges=[(0, 1)]))])
+        assert index.serials() == [9]
+
+    def test_size_estimate_positive(self, index):
+        assert index.approximate_size_bytes() > 0
+
+    def test_max_path_length(self):
+        assert QueryGraphIndex(max_path_length=2).max_path_length == 2
+
+
+class TestCandidateGeneration:
+    def test_candidate_supergraphs_finds_containers(self, index):
+        query = Graph(labels=["C", "C"], edges=[(0, 1)])  # contained in all three
+        candidates = index.candidate_supergraphs(query)
+        assert candidates == frozenset({1, 2, 3})
+
+    def test_candidate_supergraphs_respects_labels(self, index):
+        query = Graph(labels=["N", "O"], edges=[(0, 1)])
+        assert index.candidate_supergraphs(query) <= frozenset({2})
+
+    def test_candidate_subgraphs_finds_contained(self, index):
+        query = Graph(
+            labels=["C", "C", "O", "N", "S"],
+            edges=[(0, 1), (1, 2), (2, 3), (3, 4)],
+        )
+        candidates = index.candidate_subgraphs(query)
+        # All three cached paths are genuinely contained in the query path, so
+        # the (sound) filter must keep every one of them.
+        assert frozenset({1, 2, 3}) <= candidates
+        for serial in candidates:
+            cached = index.graph(serial)
+            assert cached.order <= query.order
+
+    def test_empty_index_returns_nothing(self):
+        idx = QueryGraphIndex()
+        query = Graph(labels=["C"], edges=[])
+        assert idx.candidate_supergraphs(query) == frozenset()
+        assert idx.candidate_subgraphs(query) == frozenset()
+
+    def test_candidates_never_miss_true_containment(self):
+        """Filter soundness: every true sub/super relation survives filtering."""
+        rng = random.Random(3)
+        idx = QueryGraphIndex(max_path_length=3)
+        cached = []
+        for serial in range(8):
+            graph = random_connected_graph(
+                rng.randint(4, 10), 2.4, ["C", "O"], rng
+            )
+            idx.add(serial, graph)
+            cached.append((serial, graph))
+        for trial in range(10):
+            query = random_connected_graph(rng.randint(3, 12), 2.4, ["C", "O"], rng)
+            supers = idx.candidate_supergraphs(query)
+            subs = idx.candidate_subgraphs(query)
+            for serial, graph in cached:
+                if MATCHER.is_subgraph(query, graph):
+                    assert serial in supers
+                if MATCHER.is_subgraph(graph, query):
+                    assert serial in subs
+
+    def test_query_features_shared_between_directions(self, index):
+        query = Graph(labels=["C", "C", "O"], edges=[(0, 1), (1, 2)])
+        features = index.query_features(query)
+        assert index.candidate_supergraphs(query, features) == index.candidate_supergraphs(query)
+        assert index.candidate_subgraphs(query, features) == index.candidate_subgraphs(query)

@@ -1,0 +1,161 @@
+"""Tests for the cache replacement policies, including the paper's Table 1.
+
+The running example of Table 1 (§6.3) is reproduced exactly: six cached
+queries with given statistics, replacement invoked at serial 100, two entries
+to evict.  The expected victims per policy are stated in the paper:
+LRU → {13, 37}, POP → {11, 53}, PIN → {13, 91}, PINC → {53, 82},
+HD → CoV(R) ≈ 0.65 < 1 → PINC → {53, 82}.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.replacement import (
+    HybridPolicy,
+    LRUPolicy,
+    PINCPolicy,
+    PINPolicy,
+    POPPolicy,
+    available_policies,
+    policy_by_name,
+    squared_coefficient_of_variation,
+)
+from repro.core.statistics import CachedQueryStats
+from repro.exceptions import CacheError
+
+#: The statistics snapshot of Table 1 in the paper.
+TABLE_1 = [
+    CachedQueryStats(serial=11, hits=23, last_hit_serial=91, cs_reduction=170, cost_reduction=2600),
+    CachedQueryStats(serial=13, hits=32, last_hit_serial=51, cs_reduction=80, cost_reduction=1200),
+    CachedQueryStats(serial=37, hits=26, last_hit_serial=69, cs_reduction=76, cost_reduction=780),
+    CachedQueryStats(serial=53, hits=13, last_hit_serial=78, cs_reduction=210, cost_reduction=360),
+    CachedQueryStats(serial=82, hits=5, last_hit_serial=90, cs_reduction=120, cost_reduction=150),
+    CachedQueryStats(serial=91, hits=4, last_hit_serial=95, cs_reduction=10, cost_reduction=270),
+]
+CURRENT_SERIAL = 100
+
+
+class TestTable1RunningExample:
+    def test_lru_evicts_13_and_37(self):
+        victims = LRUPolicy().select_victims(TABLE_1, 2, CURRENT_SERIAL)
+        assert set(victims) == {13, 37}
+
+    def test_pop_evicts_11_and_53(self):
+        victims = POPPolicy().select_victims(TABLE_1, 2, CURRENT_SERIAL)
+        assert set(victims) == {11, 53}
+
+    def test_pin_evicts_13_and_91(self):
+        victims = PINPolicy().select_victims(TABLE_1, 2, CURRENT_SERIAL)
+        assert set(victims) == {13, 91}
+
+    def test_pinc_evicts_53_and_82(self):
+        victims = PINCPolicy().select_victims(TABLE_1, 2, CURRENT_SERIAL)
+        assert set(victims) == {53, 82}
+
+    def test_hd_cov_below_one_uses_pinc(self):
+        policy = HybridPolicy()
+        cov_squared = squared_coefficient_of_variation([s.cs_reduction for s in TABLE_1])
+        assert cov_squared < 1.0
+        assert cov_squared == pytest.approx(0.65 ** 2, abs=0.02)
+        assert isinstance(policy.choose(TABLE_1), PINCPolicy)
+        victims = policy.select_victims(TABLE_1, 2, CURRENT_SERIAL)
+        assert set(victims) == {53, 82}
+
+
+class TestUtilityFormulas:
+    def test_lru_utility_is_last_hit(self):
+        stats = TABLE_1[0]
+        assert LRUPolicy().utility(stats, CURRENT_SERIAL) == 91
+
+    def test_lru_never_hit_falls_back_to_own_serial(self):
+        stats = CachedQueryStats(serial=42)
+        assert LRUPolicy().utility(stats, CURRENT_SERIAL) == 42
+
+    def test_pop_utility(self):
+        stats = TABLE_1[0]  # H=23, A=100-11=89
+        assert POPPolicy().utility(stats, CURRENT_SERIAL) == pytest.approx(23 / 89)
+
+    def test_pin_utility(self):
+        stats = TABLE_1[3]  # R=210, A=47
+        assert PINPolicy().utility(stats, CURRENT_SERIAL) == pytest.approx(210 / 47)
+
+    def test_pinc_utility(self):
+        stats = TABLE_1[5]  # C=270, A=9
+        assert PINCPolicy().utility(stats, CURRENT_SERIAL) == pytest.approx(270 / 9)
+
+    def test_age_clamped_to_one(self):
+        stats = CachedQueryStats(serial=100, hits=7)
+        assert POPPolicy().utility(stats, 100) == pytest.approx(7.0)
+
+    def test_utilities_bulk(self):
+        utilities = PINPolicy().utilities(TABLE_1, CURRENT_SERIAL)
+        assert set(utilities) == {11, 13, 37, 53, 82, 91}
+
+
+class TestHybridSwitch:
+    def test_high_variability_uses_pin(self):
+        snapshots = [
+            CachedQueryStats(serial=1, cs_reduction=1, cost_reduction=10),
+            CachedQueryStats(serial=2, cs_reduction=1, cost_reduction=10),
+            CachedQueryStats(serial=3, cs_reduction=1000, cost_reduction=10),
+        ]
+        policy = HybridPolicy()
+        assert squared_coefficient_of_variation([s.cs_reduction for s in snapshots]) > 1.0
+        assert isinstance(policy.choose(snapshots), PINPolicy)
+
+    def test_cov_of_constant_values_is_zero(self):
+        assert squared_coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+
+    def test_cov_of_short_sequences_is_zero(self):
+        assert squared_coefficient_of_variation([3.0]) == 0.0
+        assert squared_coefficient_of_variation([]) == 0.0
+
+    def test_cov_zero_mean(self):
+        assert squared_coefficient_of_variation([0.0, 0.0]) == 0.0
+
+
+class TestSelectVictims:
+    def test_zero_evictions(self):
+        assert LRUPolicy().select_victims(TABLE_1, 0, CURRENT_SERIAL) == []
+
+    def test_negative_evictions_rejected(self):
+        with pytest.raises(CacheError):
+            LRUPolicy().select_victims(TABLE_1, -1, CURRENT_SERIAL)
+
+    def test_too_many_evictions_rejected(self):
+        with pytest.raises(CacheError):
+            LRUPolicy().select_victims(TABLE_1, 7, CURRENT_SERIAL)
+
+    def test_tie_break_prefers_older_entry(self):
+        snapshots = [
+            CachedQueryStats(serial=10, hits=0),
+            CachedQueryStats(serial=20, hits=0),
+        ]
+        assert POPPolicy().select_victims(snapshots, 1, 100) == [10]
+
+    def test_evicting_all_entries(self):
+        victims = PINPolicy().select_victims(TABLE_1, len(TABLE_1), CURRENT_SERIAL)
+        assert sorted(victims) == sorted(s.serial for s in TABLE_1)
+
+
+class TestPolicyRegistry:
+    def test_available_policies(self):
+        assert set(available_policies()) == {"lru", "pop", "pin", "pinc", "hd"}
+
+    @pytest.mark.parametrize("name, cls", [
+        ("lru", LRUPolicy),
+        ("POP", POPPolicy),
+        ("pin", PINPolicy),
+        ("PinC", PINCPolicy),
+        ("hd", HybridPolicy),
+    ])
+    def test_policy_by_name(self, name, cls):
+        assert isinstance(policy_by_name(name), cls)
+
+    def test_unknown_policy(self):
+        with pytest.raises(CacheError):
+            policy_by_name("fifo")
+
+    def test_repr(self):
+        assert "lru" in repr(LRUPolicy())

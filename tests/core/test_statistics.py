@@ -1,0 +1,122 @@
+"""Tests for the triplet store, Statistics Manager and per-query stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.statistics import CachedQueryStats, StatisticsManager, TripletStore
+
+
+class TestTripletStore:
+    def test_put_and_get(self):
+        store = TripletStore()
+        store.put(1, "hits", 3)
+        assert store.get(1, "hits") == 3
+
+    def test_get_default(self):
+        assert TripletStore().get(1, "missing", default="x") == "x"
+
+    def test_row_access(self):
+        store = TripletStore()
+        store.put(1, "a", 1)
+        store.put(1, "b", 2)
+        assert store.row(1) == {"a": 1, "b": 2}
+        assert store.row(99) == {}
+
+    def test_column_access(self):
+        store = TripletStore()
+        store.put(1, "hits", 3)
+        store.put(2, "hits", 5)
+        store.put(3, "other", 1)
+        assert store.column("hits") == {1: 3, 2: 5}
+
+    def test_increment(self):
+        store = TripletStore()
+        assert store.increment(1, "hits") == 1.0
+        assert store.increment(1, "hits", 2.5) == 3.5
+
+    def test_delete_row(self):
+        store = TripletStore()
+        store.put(1, "a", 1)
+        store.delete_row(1)
+        assert store.row(1) == {}
+        store.delete_row(1)  # lazily tolerated
+
+    def test_keys_contains_len(self):
+        store = TripletStore()
+        store.put(1, "a", 1)
+        store.put(2, "a", 1)
+        assert sorted(store.keys()) == [1, 2]
+        assert 1 in store and 3 not in store
+        assert len(store) == 2
+
+
+class TestCachedQueryStats:
+    def test_first_execution_time(self):
+        stats = CachedQueryStats(serial=1, filter_time_s=0.5, verify_time_s=1.5)
+        assert stats.first_execution_time_s == 2.0
+
+    def test_expensiveness(self):
+        stats = CachedQueryStats(serial=1, filter_time_s=0.5, verify_time_s=2.0)
+        assert stats.expensiveness == 4.0
+
+    def test_expensiveness_zero_filter(self):
+        assert CachedQueryStats(serial=1, verify_time_s=1.0).expensiveness == float("inf")
+        assert CachedQueryStats(serial=1).expensiveness == 0.0
+
+
+class TestStatisticsManager:
+    def test_register_and_snapshot_round_trip(self):
+        manager = StatisticsManager()
+        manager.register_query(
+            CachedQueryStats(
+                serial=11, order=5, size=6, distinct_labels=3,
+                filter_time_s=0.1, verify_time_s=0.9,
+            )
+        )
+        snapshot = manager.snapshot(11)
+        assert snapshot.serial == 11
+        assert snapshot.order == 5
+        assert snapshot.size == 6
+        assert snapshot.distinct_labels == 3
+        assert snapshot.hits == 0
+        assert snapshot.last_hit_serial is None
+
+    def test_record_hit_updates_counters(self):
+        manager = StatisticsManager()
+        manager.register_query(CachedQueryStats(serial=11))
+        manager.record_hit(11, benefiting_serial=20, cs_reduction=3, cost_reduction=120.0)
+        manager.record_hit(11, benefiting_serial=25, cs_reduction=2, cost_reduction=80.0)
+        snapshot = manager.snapshot(11)
+        assert snapshot.hits == 2
+        assert snapshot.last_hit_serial == 25
+        assert snapshot.cs_reduction == 5
+        assert snapshot.cost_reduction == 200.0
+        assert snapshot.special_hits == 0
+
+    def test_special_hit_counted(self):
+        manager = StatisticsManager()
+        manager.register_query(CachedQueryStats(serial=3))
+        manager.record_hit(3, benefiting_serial=9, cs_reduction=1, cost_reduction=1.0, special=True)
+        assert manager.snapshot(3).special_hits == 1
+
+    def test_forget_query(self):
+        manager = StatisticsManager()
+        manager.register_query(CachedQueryStats(serial=7, order=3))
+        manager.forget_query(7)
+        assert 7 not in manager.known_serials()
+        # Snapshot of a forgotten query degrades to zeros rather than raising.
+        assert manager.snapshot(7).order == 0
+
+    def test_snapshots_bulk_order_preserved(self):
+        manager = StatisticsManager()
+        for serial in (5, 3, 9):
+            manager.register_query(CachedQueryStats(serial=serial, order=serial))
+        snapshots = manager.snapshots([9, 5])
+        assert [s.serial for s in snapshots] == [9, 5]
+        assert [s.order for s in snapshots] == [9, 5]
+
+    def test_store_exposed(self):
+        manager = StatisticsManager()
+        manager.register_query(CachedQueryStats(serial=2, order=4))
+        assert manager.store.get(2, "static.order") == 4

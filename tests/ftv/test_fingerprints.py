@@ -1,0 +1,71 @@
+"""Tests for CT-Index style hash fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ftv.fingerprints import Fingerprint, feature_bit
+
+
+class TestFeatureBit:
+    def test_deterministic(self):
+        assert feature_bit(("C", "O"), 4096) == feature_bit(("C", "O"), 4096)
+
+    def test_in_range(self):
+        for width in (64, 512, 4096):
+            assert 0 <= feature_bit(("C", "O", "N"), width) < width
+
+    def test_different_features_usually_differ(self):
+        bits = {feature_bit((str(i),), 4096) for i in range(100)}
+        assert len(bits) > 90  # collisions are rare at this load factor
+
+
+class TestFingerprint:
+    def test_add_and_popcount(self):
+        fp = Fingerprint(256)
+        fp.add_feature(("C",))
+        fp.add_feature(("O",))
+        assert fp.popcount() in (1, 2)  # collision possible but bounded
+
+    def test_add_features_bulk(self):
+        fp = Fingerprint(1024)
+        fp.add_features([("C",), ("O",), ("N",)])
+        assert fp.popcount() >= 1
+
+    def test_contains_subset(self):
+        big = Fingerprint(512)
+        small = Fingerprint(512)
+        for feature in [("C",), ("O",), ("C", "O")]:
+            big.add_feature(feature)
+        small.add_feature(("C",))
+        assert big.contains(small)
+        assert not small.contains(big) or big.bits == small.bits
+
+    def test_contains_requires_same_width(self):
+        with pytest.raises(ValueError):
+            Fingerprint(128).contains(Fingerprint(256))
+
+    def test_empty_fingerprint_contained_everywhere(self):
+        assert Fingerprint(64).contains(Fingerprint(64))
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            Fingerprint(0)
+
+    def test_equality_and_hash(self):
+        a = Fingerprint(128)
+        b = Fingerprint(128)
+        a.add_feature(("C",))
+        b.add_feature(("C",))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Fingerprint(128)
+        assert a != "not a fingerprint"
+
+    def test_size_bytes(self):
+        assert Fingerprint(4096).size_bytes() == 512
+
+    def test_repr_mentions_popcount(self):
+        fp = Fingerprint(64)
+        fp.add_feature(("C",))
+        assert "popcount=1" in repr(fp)

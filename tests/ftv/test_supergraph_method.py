@@ -1,0 +1,77 @@
+"""Tests for the supergraph-query FTV method."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import GraphCache
+from repro.core.config import GraphCacheConfig
+from repro.ftv.supergraph import SupergraphFeatureIndex
+from repro.graphs.graph import Graph
+from repro.isomorphism import VF2PlusMatcher
+from repro.methods.executor import execute_query
+
+MATCHER = VF2PlusMatcher()
+
+
+def contained_graphs(dataset, query):
+    """Brute-force supergraph-query answer: dataset graphs inside the query."""
+    return frozenset(
+        graph.graph_id for graph in dataset if MATCHER.is_subgraph(graph, query)
+    )
+
+
+@pytest.fixture
+def method(handmade_dataset):
+    return SupergraphFeatureIndex(handmade_dataset, max_path_length=2)
+
+
+BIG_QUERY = Graph(
+    labels=["C", "C", "O", "N", "C", "C"],
+    edges=[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5)],
+)
+
+
+class TestFiltering:
+    def test_supports_supergraph(self, method):
+        assert method.supports_supergraph
+        assert method.name == "supergraph-ftv"
+
+    def test_candidates_contain_all_true_answers(self, method, handmade_dataset):
+        answers = contained_graphs(handmade_dataset, BIG_QUERY)
+        assert answers
+        assert answers <= method.candidates(BIG_QUERY)
+
+    def test_larger_graphs_filtered_out(self, method, handmade_dataset):
+        # Graph 2 has 7 vertices, more than the 6-vertex query: impossible.
+        assert 2 not in method.candidates(BIG_QUERY)
+
+    def test_small_query_few_candidates(self, method):
+        tiny = Graph(labels=["C", "C"], edges=[(0, 1)])
+        candidates = method.candidates(tiny)
+        # Only the single-edge graph (id 3) can be contained in a 1-edge query.
+        assert candidates <= frozenset({3})
+
+    def test_index_size_positive(self, method):
+        assert method.index_size_bytes() > 0
+
+    def test_max_path_length(self, handmade_dataset):
+        assert SupergraphFeatureIndex(handmade_dataset, max_path_length=3).max_path_length == 3
+
+
+class TestEndToEnd:
+    def test_execute_query_supergraph_mode(self, method, handmade_dataset):
+        execution = execute_query(method, BIG_QUERY, query_mode="supergraph")
+        assert execution.answer_ids == contained_graphs(handmade_dataset, BIG_QUERY)
+
+    def test_graphcache_over_supergraph_ftv(self, method, handmade_dataset):
+        cache = GraphCache(
+            method,
+            GraphCacheConfig(cache_capacity=4, window_size=1, query_mode="supergraph"),
+        )
+        queries = [BIG_QUERY, handmade_dataset[2], BIG_QUERY, handmade_dataset[0]]
+        for query in queries:
+            expected = contained_graphs(handmade_dataset, query)
+            assert cache.query(query).answer_ids == expected
+        # The repeated BIG_QUERY must have produced an exact-match hit.
+        assert cache.runtime_statistics.exact_hits >= 1

@@ -1,0 +1,113 @@
+"""Unit tests for transaction-format graph I/O."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.graph import Graph
+from repro.graphs.io import (
+    graph_from_text,
+    graph_to_text,
+    load_dataset,
+    read_transaction_text,
+    save_dataset,
+    write_transaction_text,
+)
+
+SAMPLE = """
+t # 0
+v 0 C
+v 1 O
+e 0 1
+t # 1
+v 0 N
+% a comment
+// another comment
+"""
+
+
+class TestParsing:
+    def test_parse_two_graphs(self):
+        graphs = read_transaction_text(SAMPLE)
+        assert len(graphs) == 2
+        assert graphs[0].order == 2 and graphs[0].size == 1
+        assert graphs[1].order == 1 and graphs[1].size == 0
+
+    def test_graph_ids_from_header(self):
+        graphs = read_transaction_text(SAMPLE)
+        assert graphs[0].graph_id == "0"
+        assert graphs[1].graph_id == "1"
+
+    def test_parse_from_stream(self):
+        graphs = read_transaction_text(io.StringIO(SAMPLE))
+        assert len(graphs) == 2
+
+    def test_vertex_before_t_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_transaction_text("v 0 C\n")
+
+    def test_edge_before_t_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_transaction_text("e 0 1\n")
+
+    def test_non_consecutive_vertex_ids_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_transaction_text("t # 0\nv 1 C\n")
+
+    def test_malformed_vertex_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_transaction_text("t # 0\nv 0\n")
+
+    def test_malformed_edge_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_transaction_text("t # 0\nv 0 C\ne 0\n")
+
+    def test_unknown_record_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_transaction_text("x nonsense\n")
+
+    def test_invalid_edge_target_reported_with_graph(self):
+        with pytest.raises(GraphFormatError):
+            read_transaction_text("t # 9\nv 0 C\ne 0 5\n")
+
+
+class TestRoundTrip:
+    def test_single_graph_round_trip(self, path_graph):
+        text = graph_to_text(path_graph)
+        parsed = graph_from_text(text)
+        assert parsed == path_graph
+
+    def test_graph_from_text_requires_single_graph(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_text(SAMPLE)
+
+    def test_write_read_stream_round_trip(self, triangle, star_graph):
+        buffer = io.StringIO()
+        write_transaction_text([triangle, star_graph], buffer)
+        parsed = read_transaction_text(buffer.getvalue())
+        assert parsed[0] == triangle
+        assert parsed[1] == star_graph
+
+    def test_dataset_round_trip(self, tmp_path, handmade_dataset):
+        path = tmp_path / "data.txt"
+        save_dataset(handmade_dataset, path)
+        loaded = load_dataset(path, name="reloaded")
+        assert len(loaded) == len(handmade_dataset)
+        assert loaded.name == "reloaded"
+        for original, restored in zip(handmade_dataset, loaded):
+            assert original == restored
+
+    def test_load_dataset_default_name(self, tmp_path, handmade_dataset):
+        path = tmp_path / "molecules.txt"
+        save_dataset(handmade_dataset, path)
+        assert load_dataset(path).name == "molecules"
+
+    def test_load_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(GraphFormatError):
+            load_dataset(path)

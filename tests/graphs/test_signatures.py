@@ -1,0 +1,103 @@
+"""Unit and property tests for structural signatures and necessary conditions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.graph import Graph
+from repro.graphs.signatures import (
+    could_be_subgraph,
+    degree_sequence_dominates,
+    graph_signature,
+    label_histogram_dominates,
+    vertex_signature,
+)
+from repro.isomorphism.vf2_plus import VF2PlusMatcher
+
+
+class TestLabelHistogramDominates:
+    def test_dominates_when_superset(self, triangle, path_graph):
+        small = Graph(labels=["C", "O"], edges=[(0, 1)])
+        assert label_histogram_dominates(small, path_graph)
+
+    def test_fails_when_label_missing(self, triangle):
+        pattern = Graph(labels=["N"], edges=[])
+        assert not label_histogram_dominates(pattern, triangle)
+
+    def test_fails_when_count_insufficient(self):
+        pattern = Graph(labels=["C", "C", "C"], edges=[])
+        target = Graph(labels=["C", "C", "O"], edges=[])
+        assert not label_histogram_dominates(pattern, target)
+
+
+class TestDegreeSequenceDominates:
+    def test_smaller_graph_dominated(self):
+        pattern = Graph(labels=["C", "C"], edges=[(0, 1)])
+        target = Graph(labels=["C", "C", "C"], edges=[(0, 1), (1, 2)])
+        assert degree_sequence_dominates(pattern, target)
+
+    def test_larger_pattern_fails(self):
+        pattern = Graph(labels=["C"] * 4, edges=[(0, 1), (1, 2), (2, 3)])
+        target = Graph(labels=["C"] * 3, edges=[(0, 1), (1, 2)])
+        assert not degree_sequence_dominates(pattern, target)
+
+    def test_high_degree_pattern_fails(self, star_graph, path_graph):
+        # The star's centre has degree 3; the path's max degree is 2.
+        assert not degree_sequence_dominates(star_graph, path_graph)
+
+
+class TestCouldBeSubgraph:
+    def test_trivial_cases(self, triangle, path_graph):
+        edge = Graph(labels=["C", "C"], edges=[(0, 1)])
+        assert could_be_subgraph(edge, triangle)
+        assert not could_be_subgraph(path_graph, triangle)  # more vertices
+
+    def test_never_false_negative_on_real_containment(self):
+        """could_be_subgraph must say "maybe" whenever containment truly holds."""
+        matcher = VF2PlusMatcher()
+        rng = random.Random(5)
+        for trial in range(20):
+            target = random_connected_graph(
+                order=rng.randint(6, 14),
+                average_degree=2.5,
+                alphabet=["C", "N", "O"],
+                rng=rng,
+            )
+            vertices = rng.sample(range(target.order), k=rng.randint(2, target.order))
+            pattern = target.induced_subgraph(vertices)
+            if matcher.is_subgraph(pattern, target):
+                assert could_be_subgraph(pattern, target)
+
+
+class TestVertexSignature:
+    def test_signature_contents(self, path_graph):
+        label, degree, neighbours = vertex_signature(path_graph, 1)
+        assert label == "C"
+        assert degree == 2
+        assert neighbours == (repr("C"), repr("O"))
+
+    def test_leaf_signature(self, star_graph):
+        label, degree, neighbours = vertex_signature(star_graph, 1)
+        assert degree == 1
+        assert neighbours == (repr("C"),)
+
+
+class TestGraphSignature:
+    def test_isomorphic_graphs_same_signature(self):
+        a = Graph(labels=["C", "O", "N"], edges=[(0, 1), (1, 2)])
+        b = Graph(labels=["N", "O", "C"], edges=[(0, 1), (1, 2)])
+        assert graph_signature(a) == graph_signature(b)
+
+    def test_different_structure_different_signature(self, triangle, path_graph):
+        assert graph_signature(triangle) != graph_signature(path_graph)
+
+    def test_signature_fields(self, triangle):
+        signature = graph_signature(triangle)
+        assert signature["order"] == 3
+        assert signature["size"] == 3
+        assert signature["degree_sequence"] == (2, 2, 2)

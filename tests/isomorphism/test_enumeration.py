@@ -1,0 +1,67 @@
+"""Tests for embedding enumeration (the matching problem)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.isomorphism import VF2Matcher, count_embeddings, find_all_embeddings, iter_embeddings
+
+from .helpers import contained_pair, networkx_is_subgraph
+
+
+class TestCounting:
+    def test_edge_in_triangle_counts_all_injections(self, triangle):
+        pattern = Graph(labels=["C", "C"], edges=[(0, 1)])
+        # The C-C edge maps onto (0,1) and (1,0): two injections.
+        assert count_embeddings(pattern, triangle) == 2
+
+    def test_single_vertex_counts_label_occurrences(self, star_graph):
+        pattern = Graph(labels=["O"])
+        assert count_embeddings(pattern, star_graph) == 3
+
+    def test_empty_pattern_has_one_embedding(self, triangle):
+        assert count_embeddings(Graph(labels=[]), triangle) == 1
+
+    def test_no_embeddings_for_mismatch(self, triangle):
+        pattern = Graph(labels=["N"])
+        assert count_embeddings(pattern, triangle) == 0
+
+    def test_limit_respected(self, star_graph):
+        pattern = Graph(labels=["O"])
+        assert count_embeddings(pattern, star_graph, limit=2) == 2
+
+    def test_path_in_cycle(self):
+        cycle = Graph(labels=["C"] * 4, edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        path = Graph(labels=["C", "C", "C"], edges=[(0, 1), (1, 2)])
+        # Each of the 4 middle vertices with 2 orientations: 8 embeddings.
+        assert count_embeddings(path, cycle) == 8
+
+
+class TestIterAndMaterialise:
+    def test_embeddings_are_valid(self):
+        for seed in range(5):
+            pattern, target = contained_pair(seed, target_order=10)
+            embeddings = find_all_embeddings(pattern, target, limit=10)
+            assert embeddings, "a contained pair must have at least one embedding"
+            for embedding in embeddings:
+                assert VF2Matcher.verify_embedding(pattern, target, embedding)
+
+    def test_embeddings_distinct(self):
+        pattern = Graph(labels=["C", "C"], edges=[(0, 1)])
+        target = Graph(labels=["C"] * 3, edges=[(0, 1), (1, 2), (0, 2)])
+        embeddings = find_all_embeddings(pattern, target)
+        as_tuples = {tuple(sorted(e.items())) for e in embeddings}
+        assert len(as_tuples) == len(embeddings) == 6
+
+    def test_iterator_is_lazy(self, star_graph):
+        pattern = Graph(labels=["O"])
+        iterator = iter_embeddings(pattern, star_graph)
+        first = next(iterator)
+        assert set(first) == {0}
+
+    def test_consistent_with_decision_problem(self):
+        for seed in range(10):
+            pattern, target = contained_pair(seed, target_order=9)
+            has_embedding = count_embeddings(pattern, target, limit=1) > 0
+            assert has_embedding == networkx_is_subgraph(pattern, target)

@@ -1,0 +1,117 @@
+"""Algorithm-specific tests: vertex orderings and refinement internals."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.graph import Graph
+from repro.isomorphism.graphql_match import GraphQLMatcher, _counter_covers
+from repro.isomorphism.ullmann import UllmannMatcher
+from repro.isomorphism.vf2 import VF2Matcher, connectivity_order
+from repro.isomorphism.vf2_plus import VF2PlusMatcher
+
+from collections import Counter
+
+
+class TestConnectivityOrder:
+    def test_order_is_permutation(self, house_graph):
+        order = connectivity_order(house_graph)
+        assert sorted(order) == list(range(house_graph.order))
+
+    def test_each_vertex_has_earlier_neighbour(self, house_graph):
+        order = connectivity_order(house_graph)
+        placed = {order[0]}
+        for vertex in order[1:]:
+            assert any(n in placed for n in house_graph.neighbors(vertex))
+            placed.add(vertex)
+
+    def test_disconnected_graph_covered(self):
+        g = Graph(labels=["C", "C", "O", "O"], edges=[(0, 1), (2, 3)])
+        order = connectivity_order(g)
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_empty_graph(self):
+        assert connectivity_order(Graph(labels=[])) == []
+
+    def test_priority_controls_start(self, path_graph):
+        order = connectivity_order(path_graph, priority=[0, 0, 0, 10])
+        assert order[0] == 3
+
+    def test_random_graphs_connectivity_property(self):
+        rng = random.Random(0)
+        for _ in range(10):
+            g = random_connected_graph(rng.randint(2, 20), 2.4, ["C", "O"], rng)
+            order = connectivity_order(g)
+            placed = {order[0]}
+            for vertex in order[1:]:
+                assert any(n in placed for n in g.neighbors(vertex))
+                placed.add(vertex)
+
+
+class TestVF2PlusOrdering:
+    def test_rare_label_first(self):
+        pattern = Graph(labels=["C", "C", "N"], edges=[(0, 1), (1, 2)])
+        target = Graph(
+            labels=["C"] * 8 + ["N"],
+            edges=[(i, i + 1) for i in range(8)],
+        )
+        order = VF2PlusMatcher()._order(pattern, target)
+        assert order[0] == 2  # the N vertex is rarest in the target
+
+    def test_same_result_as_vf2(self):
+        rng = random.Random(1)
+        for seed in range(10):
+            rng = random.Random(seed)
+            target = random_connected_graph(12, 2.5, ["C", "N", "O"], rng)
+            pattern = target.induced_subgraph(rng.sample(range(12), k=5))
+            assert VF2Matcher().is_subgraph(pattern, target) == VF2PlusMatcher().is_subgraph(
+                pattern, target
+            )
+
+
+class TestUllmannRefinement:
+    def test_initial_domains_respect_labels_and_degree(self, star_graph):
+        pattern = Graph(labels=["C", "O"], edges=[(0, 1)])
+        domains = UllmannMatcher()._initial_domains(pattern, star_graph)
+        assert domains[0] == {0}
+        assert domains[1] == {1, 2, 3}
+
+    def test_refinement_prunes_impossible(self):
+        pattern = Graph(labels=["C", "C", "C"], edges=[(0, 1), (1, 2)])
+        # Target: two disconnected C-C edges; the middle pattern vertex needs
+        # two C neighbours, which no target vertex has.
+        target = Graph(labels=["C"] * 4, edges=[(0, 1), (2, 3)])
+        matcher = UllmannMatcher()
+        domains = matcher._initial_domains(pattern, target)
+        assert not matcher._refine(pattern, target, domains) or not all(domains)
+
+    def test_refinement_keeps_valid_candidates(self, triangle):
+        pattern = Graph(labels=["C", "O"], edges=[(0, 1)])
+        matcher = UllmannMatcher()
+        domains = matcher._initial_domains(pattern, triangle)
+        assert matcher._refine(pattern, triangle, domains)
+        assert domains[1] == {2}
+
+
+class TestGraphQLInternals:
+    def test_counter_covers(self):
+        assert _counter_covers(Counter({"C": 2, "O": 1}), Counter({"C": 1}))
+        assert not _counter_covers(Counter({"C": 1}), Counter({"C": 2}))
+
+    def test_initial_candidates_use_profiles(self, path_graph):
+        pattern = Graph(labels=["C", "O"], edges=[(0, 1)])
+        matcher = GraphQLMatcher()
+        candidates = matcher._initial_candidates(pattern, path_graph)
+        # Pattern vertex 0 is a C adjacent to an O: only vertex 1 qualifies.
+        assert candidates[0] == {1}
+
+    def test_search_order_prefers_small_candidate_sets(self, path_graph):
+        pattern = Graph(labels=["C", "C", "O"], edges=[(0, 1), (1, 2)])
+        matcher = GraphQLMatcher()
+        candidates = matcher._initial_candidates(pattern, path_graph)
+        order = matcher._search_order(pattern, candidates)
+        assert sorted(order) == [0, 1, 2]
+        assert len(candidates[order[0]]) == min(len(c) for c in candidates)

@@ -1,0 +1,56 @@
+"""Tests for the matcher registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MatcherError
+from repro.isomorphism import (
+    GraphQLMatcher,
+    UllmannMatcher,
+    VF2Matcher,
+    VF2PlusMatcher,
+    available_matchers,
+    matcher_by_name,
+    register_matcher,
+)
+
+
+class TestRegistry:
+    def test_builtin_matchers_available(self):
+        names = available_matchers()
+        assert {"vf2", "vf2plus", "ullmann", "graphql"} <= set(names)
+
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("vf2", VF2Matcher),
+            ("vf2plus", VF2PlusMatcher),
+            ("ullmann", UllmannMatcher),
+            ("graphql", GraphQLMatcher),
+        ],
+    )
+    def test_matcher_by_name(self, name, cls):
+        assert isinstance(matcher_by_name(name), cls)
+
+    def test_name_is_case_insensitive(self):
+        assert isinstance(matcher_by_name("  VF2Plus "), VF2PlusMatcher)
+
+    def test_unknown_matcher_raises(self):
+        with pytest.raises(MatcherError):
+            matcher_by_name("turbo-iso")
+
+    def test_register_custom_matcher(self):
+        class MyMatcher(VF2Matcher):
+            name = "custom"
+
+        register_matcher("custom", MyMatcher)
+        assert isinstance(matcher_by_name("custom"), MyMatcher)
+        assert "custom" in available_matchers()
+
+    def test_register_empty_name_rejected(self):
+        with pytest.raises(MatcherError):
+            register_matcher("  ", VF2Matcher)
+
+    def test_each_call_returns_new_instance(self):
+        assert matcher_by_name("vf2") is not matcher_by_name("vf2")

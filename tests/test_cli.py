@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_command_parses(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "aids"])
+        assert args.method == "ggsx"
+        assert args.policy == "hd"
+        assert args.cache_size == 30
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dataset", "imdb"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "ggsx" in output and "vf2" in output and "hd" in output
+
+    def test_dataset_stats_and_save(self, capsys, tmp_path):
+        output_path = tmp_path / "aids.txt"
+        code = main(["dataset", "aids", "--scale", "0.05", "--seed", "3",
+                     "--output", str(output_path)])
+        assert code == 0
+        assert output_path.exists()
+        output = capsys.readouterr().out
+        assert "graph_count" in output
+        assert "saved 10 graphs" in output
+
+    def test_workload_generation(self, capsys, tmp_path):
+        output_path = tmp_path / "workload.json"
+        code = main([
+            "workload", "aids", "--scale", "0.05", "--kind", "ZZ",
+            "--queries", "8", "--sizes", "3", "5", "--seed", "2",
+            "--output", str(output_path),
+        ])
+        assert code == 0
+        assert output_path.exists()
+        assert "saved workload" in capsys.readouterr().out
+
+    def test_run_experiment(self, capsys, tmp_path):
+        workload_path = tmp_path / "workload.json"
+        main([
+            "workload", "aids", "--scale", "0.06", "--kind", "ZZ",
+            "--queries", "25", "--sizes", "3", "5", "--seed", "2",
+            "--output", str(workload_path),
+        ])
+        capsys.readouterr()
+        code = main([
+            "run", "aids", "--scale", "0.06", "--method", "vf2plus",
+            "--workload", str(workload_path), "--cache-size", "5",
+            "--window-size", "3", "--seed", "2",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "time_speedup" in output
+
+    def test_policies_comparison(self, capsys):
+        code = main([
+            "policies", "aids", "--scale", "0.06", "--method", "vf2plus",
+            "--queries", "25", "--cache-size", "5", "--window-size", "3",
+            "--seed", "4",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        for policy in ("LRU", "POP", "PIN", "PINC", "HD"):
+            assert policy in output

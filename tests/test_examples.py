@@ -1,0 +1,46 @@
+"""Smoke tests: every example script must run end-to-end.
+
+The examples double as integration tests of the public API; they are executed
+in-process (imported and their ``main()`` called) with stdout captured, so a
+broken example fails the test suite rather than only being discovered by a
+user.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_has_at_least_three(self):
+        assert len(EXAMPLES) >= 3
+
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_example_runs(self, name, capsys, monkeypatch):
+        module = load_example(name)
+        assert hasattr(module, "main"), f"{name} must expose a main() function"
+        module.main()
+        output = capsys.readouterr().out
+        assert output.strip(), f"{name} produced no output"
+
+    def test_quickstart_reports_speedup(self, capsys):
+        module = load_example("quickstart.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "speedup" in output
+        assert "cache hits" in output

@@ -1,0 +1,69 @@
+"""Tests for workload serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads import generate_type_a, load_workload, save_workload
+
+
+@pytest.fixture
+def workload(tiny_dataset):
+    return generate_type_a(tiny_dataset, "ZZ", 10, query_sizes=(3, 5), seed=7)
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_queries(self, workload, tmp_path):
+        path = tmp_path / "workload.json"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        assert len(loaded) == len(workload)
+        assert list(loaded) == list(workload)
+
+    def test_round_trip_preserves_metadata(self, workload, tmp_path):
+        path = tmp_path / "workload.json"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        assert loaded.name == workload.name
+        assert loaded.dataset_name == workload.dataset_name
+        assert loaded.parameters["category"] == "ZZ"
+        assert loaded.parameters["seed"] == 7
+
+    def test_tuples_serialised_as_lists(self, workload, tmp_path):
+        path = tmp_path / "workload.json"
+        save_workload(workload, path)
+        payload = json.loads(path.read_text())
+        assert payload["parameters"]["query_sizes"] == [3, 5]
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_workload(tmp_path / "nope.json")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(WorkloadError):
+            load_workload(path)
+
+    def test_wrong_version(self, workload, tmp_path):
+        path = tmp_path / "workload.json"
+        save_workload(workload, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(WorkloadError):
+            load_workload(path)
+
+    def test_empty_workload_rejected(self, workload, tmp_path):
+        path = tmp_path / "workload.json"
+        save_workload(workload, path)
+        payload = json.loads(path.read_text())
+        payload["queries"] = []
+        path.write_text(json.dumps(payload))
+        with pytest.raises(WorkloadError):
+            load_workload(path)

@@ -1,0 +1,86 @@
+"""Tests for Type A workload generation (UU / ZU / ZZ)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.isomorphism import VF2PlusMatcher
+from repro.workloads.type_a import (
+    SMALL_DATASET_QUERY_SIZES,
+    TypeAWorkloadGenerator,
+    generate_type_a,
+)
+
+MATCHER = VF2PlusMatcher()
+
+
+class TestGeneratorValidation:
+    def test_invalid_category(self, tiny_dataset):
+        with pytest.raises(WorkloadError):
+            TypeAWorkloadGenerator(tiny_dataset, category="XX")
+
+    def test_empty_sizes(self, tiny_dataset):
+        with pytest.raises(WorkloadError):
+            TypeAWorkloadGenerator(tiny_dataset, query_sizes=())
+
+    def test_invalid_query_count(self, tiny_dataset):
+        generator = TypeAWorkloadGenerator(tiny_dataset, query_sizes=(3, 5))
+        with pytest.raises(WorkloadError):
+            generator.generate(0)
+
+    def test_category_normalised(self, tiny_dataset):
+        assert TypeAWorkloadGenerator(tiny_dataset, category="zz").category == "ZZ"
+
+
+class TestGeneratedQueries:
+    def test_workload_length_and_metadata(self, tiny_dataset):
+        workload = generate_type_a(tiny_dataset, "ZZ", 12, query_sizes=(3, 5), seed=1)
+        assert len(workload) == 12
+        assert workload.name == "TypeA-ZZ"
+        assert workload.dataset_name == tiny_dataset.name
+        assert workload.parameters["category"] == "ZZ"
+
+    def test_queries_have_requested_sizes(self, tiny_dataset):
+        workload = generate_type_a(tiny_dataset, "UU", 15, query_sizes=(3, 6), seed=2)
+        assert all(q.size in (3, 6) or q.size <= 6 for q in workload)
+
+    def test_queries_have_answers(self, tiny_dataset):
+        """Type A queries are extracted from dataset graphs, so each has >= 1 answer."""
+        workload = generate_type_a(tiny_dataset, "ZU", 10, query_sizes=(3, 5), seed=3)
+        for query in workload:
+            assert any(MATCHER.is_subgraph(query, g) for g in tiny_dataset)
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        a = generate_type_a(tiny_dataset, "ZZ", 10, query_sizes=(3, 5), seed=9)
+        b = generate_type_a(tiny_dataset, "ZZ", 10, query_sizes=(3, 5), seed=9)
+        assert list(a) == list(b)
+
+    def test_different_seeds_differ(self, tiny_dataset):
+        a = generate_type_a(tiny_dataset, "ZZ", 10, query_sizes=(3, 5), seed=1)
+        b = generate_type_a(tiny_dataset, "ZZ", 10, query_sizes=(3, 5), seed=2)
+        assert list(a) != list(b)
+
+    def test_default_sizes_constant(self):
+        assert SMALL_DATASET_QUERY_SIZES == (4, 8, 12, 16, 20)
+
+    def test_zz_more_repetitive_than_uu(self, small_dataset):
+        """Skewed selection must produce more repeated queries than uniform."""
+        zz = generate_type_a(small_dataset, "ZZ", 60, query_sizes=(4, 8), seed=5)
+        uu = generate_type_a(small_dataset, "UU", 60, query_sizes=(4, 8), seed=5)
+
+        def max_repeat(workload):
+            return max(Counter(q.structure_key() for q in workload).values())
+
+        assert max_repeat(zz) >= max_repeat(uu)
+
+    def test_higher_alpha_more_skewed(self, small_dataset):
+        low = generate_type_a(small_dataset, "ZZ", 60, query_sizes=(4,), alpha=1.1, seed=8)
+        high = generate_type_a(small_dataset, "ZZ", 60, query_sizes=(4,), alpha=1.7, seed=8)
+
+        def distinct(workload):
+            return len({q.structure_key() for q in workload})
+
+        assert distinct(high) <= distinct(low)

@@ -1,0 +1,107 @@
+"""Tests for Type B workload generation (query pools with no-answer queries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.isomorphism import VF2PlusMatcher
+from repro.workloads.type_b import QueryPools, TypeBWorkloadGenerator, generate_type_b
+
+MATCHER = VF2PlusMatcher()
+
+
+@pytest.fixture(scope="module")
+def pools(tiny_dataset):
+    return QueryPools(
+        tiny_dataset,
+        query_sizes=(3, 5),
+        answer_pool_size=12,
+        no_answer_pool_size=4,
+        seed=3,
+    )
+
+
+class TestQueryPools:
+    def test_pool_sizes(self, pools):
+        assert len(pools.answer_pool) == 12
+        assert len(pools.no_answer_pool) == 4
+
+    def test_answer_pool_queries_have_answers(self, pools, tiny_dataset):
+        for query in pools.answer_pool:
+            assert any(MATCHER.is_subgraph(query, g) for g in tiny_dataset)
+
+    def test_no_answer_pool_queries_have_no_answers(self, pools, tiny_dataset):
+        for query in pools.no_answer_pool:
+            assert not any(MATCHER.is_subgraph(query, g) for g in tiny_dataset)
+
+    def test_invalid_parameters(self, tiny_dataset):
+        with pytest.raises(WorkloadError):
+            QueryPools(tiny_dataset, query_sizes=(), answer_pool_size=5)
+        with pytest.raises(WorkloadError):
+            QueryPools(tiny_dataset, query_sizes=(3,), answer_pool_size=0)
+
+
+class TestTypeBWorkloads:
+    def test_zero_probability_only_answer_pool(self, pools, tiny_dataset):
+        generator = TypeBWorkloadGenerator(pools, no_answer_probability=0.0, seed=1)
+        workload = generator.generate(30, dataset_name=tiny_dataset.name)
+        answer_keys = {q.structure_key() for q in pools.answer_pool}
+        assert all(q.structure_key() in answer_keys for q in workload)
+        assert workload.name == "TypeB-0%"
+
+    def test_full_probability_only_no_answer_pool(self, pools, tiny_dataset):
+        generator = TypeBWorkloadGenerator(pools, no_answer_probability=1.0, seed=1)
+        workload = generator.generate(20, dataset_name=tiny_dataset.name)
+        no_answer_keys = {q.structure_key() for q in pools.no_answer_pool}
+        assert all(q.structure_key() in no_answer_keys for q in workload)
+
+    def test_mixed_probability(self, pools, tiny_dataset):
+        generator = TypeBWorkloadGenerator(pools, no_answer_probability=0.5, seed=2)
+        workload = generator.generate(60, dataset_name=tiny_dataset.name)
+        no_answer_keys = {q.structure_key() for q in pools.no_answer_pool}
+        fraction = sum(1 for q in workload if q.structure_key() in no_answer_keys) / 60
+        assert 0.2 <= fraction <= 0.8
+        assert workload.name == "TypeB-50%"
+
+    def test_invalid_probability(self, pools):
+        with pytest.raises(WorkloadError):
+            TypeBWorkloadGenerator(pools, no_answer_probability=1.5)
+
+    def test_invalid_count(self, pools):
+        generator = TypeBWorkloadGenerator(pools, no_answer_probability=0.2)
+        with pytest.raises(WorkloadError):
+            generator.generate(0)
+
+    def test_deterministic_given_seed(self, pools):
+        a = TypeBWorkloadGenerator(pools, 0.2, seed=5).generate(25)
+        b = TypeBWorkloadGenerator(pools, 0.2, seed=5).generate(25)
+        assert list(a) == list(b)
+
+    def test_queries_repeat_under_zipf(self, pools):
+        workload = TypeBWorkloadGenerator(pools, 0.0, alpha=1.7, seed=6).generate(40)
+        distinct = len({q.structure_key() for q in workload})
+        assert distinct < 40  # popular pool entries are drawn repeatedly
+
+    def test_convenience_wrapper_builds_pools(self, tiny_dataset):
+        workload = generate_type_b(
+            tiny_dataset,
+            no_answer_probability=0.2,
+            query_count=15,
+            query_sizes=(3, 5),
+            answer_pool_size=8,
+            no_answer_pool_size=3,
+            seed=4,
+        )
+        assert len(workload) == 15
+        assert workload.parameters["no_answer_probability"] == 0.2
+
+    def test_convenience_wrapper_reuses_supplied_pools(self, pools, tiny_dataset):
+        workload = generate_type_b(
+            tiny_dataset,
+            no_answer_probability=0.0,
+            query_count=10,
+            query_sizes=(3, 5),
+            pools=pools,
+        )
+        assert len(workload) == 10
