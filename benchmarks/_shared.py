@@ -21,7 +21,13 @@ from repro.bench.scenarios import (
 )
 from repro.methods.executor import QueryExecution
 
-__all__ = ["workload_by_label", "experiment_cell", "baseline_for", "WORKLOAD_LABELS"]
+__all__ = [
+    "workload_by_label",
+    "experiment_cell",
+    "baseline_for",
+    "work_counters",
+    "WORKLOAD_LABELS",
+]
 
 #: The six workload groups used across the paper's figures.
 WORKLOAD_LABELS = ("ZZ", "ZU", "UU", "0%", "20%", "50%")
@@ -72,3 +78,29 @@ def experiment_cell(
         config=config,
         baseline_executions=baseline_for(dataset, method_name, label, alpha=alpha),
     )
+
+
+def work_counters(cell: ExperimentResult) -> Dict[str, float]:
+    """Deterministic work counters of one experiment cell.
+
+    Figure *shape* checks should assert on these instead of wall-clock
+    speedups: the counters are exact functions of the (seeded) workload and
+    the cache configuration, so they are identical on every run and on every
+    machine, while sub-second wall-clock ratios drown in scheduler noise.
+    The wall-clock speedup tables stay in the printed output as the
+    paper-facing (informational) figures.
+    """
+    runtime = cell.cache.runtime_statistics
+    return {
+        # Ratio of baseline to cached *sub-iso test counts* per query.
+        "subiso_speedup": cell.subiso_speedup,
+        # Dataset-graph sub-iso tests the cache did not have to run.
+        "subiso_tests_alleviated": float(runtime.subiso_tests_alleviated),
+        # Average per-query candidate-set reduction achieved by pruning.
+        "candidate_reduction": (
+            cell.speedups.baseline.avg_candidates - cell.speedups.cached.avg_candidates
+        ),
+        # GC-processor effort: real query-vs-query tests vs memoised verdicts.
+        "containment_tests": float(runtime.containment_tests),
+        "containment_memo_hits": float(runtime.containment_memo_hits),
+    }

@@ -15,5 +15,20 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
+import pytest
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
 # Make the sibling ``_shared`` helper importable regardless of rootdir.
-sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(_BENCH_DIR))
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under ``benchmarks/`` with the ``bench`` marker.
+
+    The fast tier (CI, local unit feedback) deselects the figure benchmarks
+    with ``-m "not bench"`` without having to know the directory layout.
+    """
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.bench)

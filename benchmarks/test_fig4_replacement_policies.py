@@ -8,11 +8,16 @@ a GC-exclusive policy (PIN or PINC) always wins, and HD tracks the best.
 This benchmark regenerates the same series at reproduction scale, using three
 representative workload groups per dataset (ZZ, UU and the 20 % Type B mix)
 to keep the suite's runtime reasonable.
+
+The printed wall-clock speedup table is informational; the shape assertion
+("HD tracks the best policy") runs on the deterministic sub-iso-test-count
+speedups, which depend only on the seeded workload and each policy's caching
+decisions — not on timing noise.
 """
 
 from __future__ import annotations
 
-from _shared import experiment_cell
+from _shared import experiment_cell, work_counters
 
 from repro.bench.reporting import print_figure
 
@@ -24,18 +29,24 @@ METHOD = "ctindex"
 
 def run_figure4():
     figures = {}
+    counter_figures = {}
     for dataset in DATASETS:
         series = {policy.upper(): {} for policy in POLICIES}
+        counter_series = {policy.upper(): {} for policy in POLICIES}
         for label in WORKLOADS:
             for policy in POLICIES:
                 cell = experiment_cell(dataset, METHOD, label, policy=policy)
                 series[policy.upper()][label] = cell.time_speedup
+                counter_series[policy.upper()][label] = work_counters(cell)[
+                    "subiso_speedup"
+                ]
         figures[dataset] = series
-    return figures
+        counter_figures[dataset] = counter_series
+    return figures, counter_figures
 
 
 def test_fig4_policy_speedups_over_ctindex(benchmark):
-    figures = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    figures, counter_figures = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
     for dataset, series in figures.items():
         print_figure(
             "Figure 4",
@@ -43,9 +54,17 @@ def test_fig4_policy_speedups_over_ctindex(benchmark):
             series,
             note="paper shape: GC-exclusive policies (PIN/PINC) lead; HD is best or near-best",
         )
+    for dataset, series in counter_figures.items():
+        print_figure(
+            "Figure 4 (work counters)",
+            f"sub-iso-test speedup over CT-Index on {dataset.upper()} by replacement policy",
+            series,
+            note="deterministic shape check: HD within 25% of the best policy",
+        )
     # Shape check: on every dataset/workload, HD must be within 25% of the
-    # best policy (the paper's "always better or on par" claim).
-    for dataset, series in figures.items():
+    # best policy (the paper's "always better or on par" claim), measured on
+    # deterministic sub-iso test counts.
+    for dataset, series in counter_figures.items():
         for label in WORKLOADS:
             best = max(series[p.upper()][label] for p in POLICIES)
             assert series["HD"][label] >= 0.75 * best, (dataset, label, series)

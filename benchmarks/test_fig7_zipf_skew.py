@@ -11,7 +11,7 @@ This benchmark reproduces the CT-Index and GGSX panels.
 
 from __future__ import annotations
 
-from _shared import experiment_cell
+from _shared import experiment_cell, work_counters
 
 from repro.bench.reporting import print_figure
 
@@ -23,18 +23,24 @@ DATASET = "aids"
 
 def run_figure7():
     figures = {}
+    counter_figures = {}
     for method in METHODS:
         series = {f"zipf {alpha}": {} for alpha in ALPHAS}
+        counter_series = {f"zipf {alpha}": {} for alpha in ALPHAS}
         for alpha in ALPHAS:
             for mix in MIXES:
                 cell = experiment_cell(DATASET, method, mix, policy="hd", alpha=alpha)
                 series[f"zipf {alpha}"][mix] = cell.time_speedup
+                counter_series[f"zipf {alpha}"][mix] = work_counters(cell)[
+                    "subiso_speedup"
+                ]
         figures[method] = series
-    return figures
+        counter_figures[method] = counter_series
+    return figures, counter_figures
 
 
 def test_fig7_skew_sensitivity(benchmark):
-    figures = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    figures, counter_figures = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
     for method, series in figures.items():
         print_figure(
             "Figure 7",
@@ -42,8 +48,16 @@ def test_fig7_skew_sensitivity(benchmark):
             series,
             note="paper shape: higher skew → higher speedup; uniform-ish workloads still gain",
         )
-    # Shape check: for each method and mix, the most skewed workload must do
-    # at least as well as the least skewed one (within a small tolerance).
-    for method, series in figures.items():
+    for method, series in counter_figures.items():
+        print_figure(
+            "Figure 7 (work counters)",
+            f"sub-iso-test speedup vs Zipf skew, Type B workloads on AIDS, {method}",
+            series,
+            note="deterministic shape check: higher skew prunes at least as many tests",
+        )
+    # Shape check on deterministic test-count speedups: for each method and
+    # mix, the most skewed workload must prune at least as well as the least
+    # skewed one (within a small tolerance).
+    for method, series in counter_figures.items():
         for mix in MIXES:
             assert series["zipf 1.7"][mix] >= 0.85 * series["zipf 1.1"][mix], (method, mix, series)

@@ -77,6 +77,10 @@ class CacheQueryResult:
     sub_hits / super_hits:
         Number of cached queries whose answer sets were exploited via the
         subgraph / supergraph relationship.
+    containment_tests:
+        Query-vs-query sub-iso tests actually executed by the GC processors.
+    containment_memo_hits:
+        Query-vs-query verdicts answered from the containment memo instead.
     """
 
     serial: int
@@ -92,6 +96,8 @@ class CacheQueryResult:
     shortcut: Optional[str]
     sub_hits: int
     super_hits: int
+    containment_tests: int = 0
+    containment_memo_hits: int = 0
 
     @property
     def total_time_s(self) -> float:
@@ -114,6 +120,8 @@ class CacheRuntimeStatistics:
     empty_shortcuts: int = 0
     subiso_tests: int = 0
     subiso_tests_alleviated: int = 0
+    containment_tests: int = 0
+    containment_memo_hits: int = 0
     total_query_time_s: float = 0.0
     total_maintenance_time_s: float = 0.0
 
@@ -126,6 +134,8 @@ class CacheRuntimeStatistics:
             "empty_shortcuts": self.empty_shortcuts,
             "subiso_tests": self.subiso_tests,
             "subiso_tests_alleviated": self.subiso_tests_alleviated,
+            "containment_tests": self.containment_tests,
+            "containment_memo_hits": self.containment_memo_hits,
             "total_query_time_s": self.total_query_time_s,
             "total_maintenance_time_s": self.total_maintenance_time_s,
         }
@@ -301,6 +311,8 @@ class GraphCache:
             shortcut=pruning.shortcut,
             sub_hits=len(outcome.result_sub),
             super_hits=len(outcome.result_super),
+            containment_tests=outcome.containment_tests,
+            containment_memo_hits=outcome.memo_hits,
         )
         self._update_runtime(result, len(method_candidates))
         self._results.append(result)
@@ -361,6 +373,8 @@ class GraphCache:
         self._runtime.subiso_tests_alleviated += max(
             0, method_candidates - result.subiso_tests
         )
+        self._runtime.containment_tests += result.containment_tests
+        self._runtime.containment_memo_hits += result.containment_memo_hits
         self._runtime.total_query_time_s += result.total_time_s
         self._runtime.total_maintenance_time_s += result.maintenance_time_s
         if result.cache_hit:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..graphs.graph import Graph
 from ..isomorphism.base import SubgraphMatcher
@@ -53,7 +53,11 @@ class ProcessorOutcome:
         Wall-clock time spent in GC filtering (index lookups plus the
         query-vs-query confirmation sub-iso tests).
     containment_tests:
-        Number of query-vs-query sub-iso tests executed.
+        Number of query-vs-query sub-iso tests actually executed (memoised
+        verdicts do not count).
+    memo_hits:
+        Number of candidate confirmations answered from the containment memo
+        without running a sub-iso test.
     """
 
     result_sub: FrozenSet[int]
@@ -61,6 +65,7 @@ class ProcessorOutcome:
     exact_match_serial: Optional[int]
     elapsed_s: float
     containment_tests: int
+    memo_hits: int = 0
 
     @property
     def hit(self) -> bool:
@@ -69,15 +74,33 @@ class ProcessorOutcome:
 
 
 class CacheProcessors:
-    """The GCsub and GCsuper processors sharing one GCindex and one matcher."""
+    """The GCsub and GCsuper processors sharing one GCindex and one matcher.
+
+    Query-vs-query containment verdicts are memoised across the processor's
+    lifetime: the verdict of ``g1 ⊆ g2`` depends only on the two labelled
+    structures, and skewed (e.g. Zipfian) workloads repeat query structures
+    heavily, so re-confirming the same pair against the same cached query is
+    pure waste.  The memo is keyed by the ``(pattern, target)`` graph pair —
+    :class:`~repro.graphs.graph.Graph` hashes/compares on its exact labelled
+    structure — and bounded by :data:`MEMO_LIMIT`.
+    """
+
+    #: Maximum number of memoised verdicts before the memo is reset.  Workload
+    #: runs at reproduction scale produce a few thousand distinct pairs, so
+    #: the bound exists purely as a safety valve for long-lived services.
+    MEMO_LIMIT = 200_000
 
     def __init__(
         self,
         index: QueryGraphIndex,
         matcher: Optional[SubgraphMatcher] = None,
+        memoize: bool = True,
     ) -> None:
         self._index = index
         self._matcher = matcher or VF2PlusMatcher()
+        self._memoize = memoize
+        self._memo: Dict[Tuple[Graph, Graph], bool] = {}
+        self._memo_hits = 0
 
     @property
     def index(self) -> QueryGraphIndex:
@@ -89,11 +112,42 @@ class CacheProcessors:
         """Matcher used for query-vs-query containment confirmation."""
         return self._matcher
 
+    @property
+    def memo_hits(self) -> int:
+        """Lifetime count of containment verdicts answered from the memo."""
+        return self._memo_hits
+
+    @property
+    def memo_size(self) -> int:
+        """Number of memoised query-vs-query verdicts currently held."""
+        return len(self._memo)
+
+    # ------------------------------------------------------------------ #
+    def _contains(self, pattern: Graph, target: Graph) -> Tuple[bool, bool]:
+        """Memoised ``pattern ⊆ target`` verdict.
+
+        Returns ``(verdict, from_memo)``; only ``from_memo == False`` calls
+        ran an actual sub-iso test.
+        """
+        if not self._memoize:
+            return self._matcher.is_subgraph(pattern, target), False
+        key = (pattern, target)
+        verdict = self._memo.get(key)
+        if verdict is not None:
+            self._memo_hits += 1
+            return verdict, True
+        verdict = self._matcher.is_subgraph(pattern, target)
+        if len(self._memo) >= self.MEMO_LIMIT:
+            self._memo.clear()
+        self._memo[key] = verdict
+        return verdict, False
+
     # ------------------------------------------------------------------ #
     def process(self, query: Graph) -> ProcessorOutcome:
         """Run both processors for ``query`` against the current GCindex."""
         started = time.perf_counter()
         tests = 0
+        memo_hits = 0
 
         features = self._index.query_features(query)
         sub_candidates = self._index.candidate_supergraphs(query, features)
@@ -105,8 +159,10 @@ class CacheProcessors:
             if not self._same_shape(query, serial):
                 continue
             cached_query = self._index.graph(serial)
-            tests += 1
-            if self._matcher.is_subgraph(query, cached_query):
+            verdict, from_memo = self._contains(query, cached_query)
+            tests += not from_memo
+            memo_hits += from_memo
+            if verdict:
                 elapsed = time.perf_counter() - started
                 return ProcessorOutcome(
                     result_sub=frozenset({serial}),
@@ -114,6 +170,7 @@ class CacheProcessors:
                     exact_match_serial=serial,
                     elapsed_s=elapsed,
                     containment_tests=tests,
+                    memo_hits=memo_hits,
                 )
 
         # GCsub processor: cached queries that may contain the new query.
@@ -122,8 +179,10 @@ class CacheProcessors:
             if self._same_shape(query, serial):
                 continue  # already checked in the exact-match fast path
             cached_query = self._index.graph(serial)
-            tests += 1
-            if self._matcher.is_subgraph(query, cached_query):
+            verdict, from_memo = self._contains(query, cached_query)
+            tests += not from_memo
+            memo_hits += from_memo
+            if verdict:
                 result_sub.add(serial)
 
         # GCsuper processor: cached queries that may be contained in the query.
@@ -136,8 +195,10 @@ class CacheProcessors:
                 result_super.add(serial)
                 continue
             cached_query = self._index.graph(serial)
-            tests += 1
-            if self._matcher.is_subgraph(cached_query, query):
+            verdict, from_memo = self._contains(cached_query, query)
+            tests += not from_memo
+            memo_hits += from_memo
+            if verdict:
                 result_super.add(serial)
 
         exact = self._find_exact_match(query, result_sub, result_super)
@@ -148,6 +209,7 @@ class CacheProcessors:
             exact_match_serial=exact,
             elapsed_s=elapsed,
             containment_tests=tests,
+            memo_hits=memo_hits,
         )
 
     # ------------------------------------------------------------------ #

@@ -55,12 +55,18 @@ class QueryGraphIndex:
     #: candidates through to the confirmation sub-iso test.
     PROBE_LIMIT = 24
 
+    #: Maximum number of memoised query-feature counters (safety valve; the
+    #: memo is keyed by the query's labelled structure, which Zipf-skewed
+    #: workloads repeat heavily).
+    FEATURE_MEMO_LIMIT = 8192
+
     def __init__(self, max_path_length: int = 3) -> None:
         self._max_path_length = max_path_length
         self._trie = PathTrie()
         self._features: Dict[int, Counter] = {}
         self._probes: Dict[int, Tuple[Tuple[Tuple[str, ...], int], ...]] = {}
         self._graphs: Dict[int, Graph] = {}
+        self._feature_memo: Dict[Graph, Counter] = {}
 
     # ------------------------------------------------------------------ #
     @property
@@ -91,7 +97,7 @@ class QueryGraphIndex:
 
     def add(self, serial: int, query: Graph) -> None:
         """Index a cached query graph under its serial number."""
-        features = path_features(query, self._max_path_length)
+        features = self.query_features(query)
         self._trie.insert_features(features, serial)
         self._features[serial] = features
         self._probes[serial] = self._probe_of(features)
@@ -123,8 +129,19 @@ class QueryGraphIndex:
     # Candidate generation (to be confirmed by sub-iso tests).
     # ------------------------------------------------------------------ #
     def query_features(self, query: Graph) -> Counter:
-        """Feature counter of a new query (shared by both directions)."""
-        return path_features(query, self._max_path_length)
+        """Feature counter of a new query (shared by both directions).
+
+        Memoised on the query's labelled structure: repeated queries (the
+        common case under skewed workloads) pay for path extraction once.
+        Callers must treat the returned counter as read-only.
+        """
+        features = self._feature_memo.get(query)
+        if features is None:
+            features = path_features(query, self._max_path_length)
+            if len(self._feature_memo) >= self.FEATURE_MEMO_LIMIT:
+                self._feature_memo.clear()
+            self._feature_memo[query] = features
+        return features
 
     def candidate_supergraphs(
         self, query: Graph, features: Optional[Counter] = None

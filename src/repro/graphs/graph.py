@@ -25,9 +25,24 @@ from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from ..exceptions import GraphError
 
-__all__ = ["Graph"]
+__all__ = ["Graph", "intern_label"]
 
 Edge = Tuple[int, int]
+
+#: Process-wide label intern table.  Labels may be arbitrary hashable values;
+#: interning maps each distinct label to a small integer id shared by *all*
+#: graphs, so matchers can compare labels across a (pattern, target) pair with
+#: a single int comparison instead of re-hashing the label objects.
+_LABEL_INTERN: Dict[object, int] = {}
+
+
+def intern_label(label: object) -> int:
+    """Return the process-wide integer id of ``label`` (assigning one if new)."""
+    label_id = _LABEL_INTERN.get(label)
+    if label_id is None:
+        label_id = len(_LABEL_INTERN)
+        _LABEL_INTERN[label] = label_id
+    return label_id
 
 
 def _normalize_edge(u: int, v: int) -> Edge:
@@ -70,6 +85,13 @@ class Graph:
         "_label_histogram",
         "_vertices_by_label",
         "_hash",
+        "_neighbor_masks",
+        "_label_ids",
+        "_label_masks",
+        "_degree_sequence",
+        "_degree_prefix_masks",
+        "_nbr_label_ge_masks",
+        "_label_id_counts",
     )
 
     def __init__(
@@ -104,6 +126,48 @@ class Graph:
             label: tuple(vertices) for label, vertices in by_label.items()
         }
         self._hash: int | None = None
+        self._init_bitmask_core(adjacency)
+
+    def _init_bitmask_core(self, adjacency: Sequence[Iterable[int]]) -> None:
+        """Precompute the integer-bitmask views used by the matcher hot paths.
+
+        * ``_neighbor_masks[v]`` — one Python int per vertex with bit ``t`` set
+          iff ``t`` is adjacent to ``v``;
+        * ``_label_ids[v]`` — process-wide interned id of ``labels[v]``;
+        * ``_label_masks[label_id]`` — bitmask of the vertices carrying a label;
+        * ``_degree_prefix_masks[d]`` — bitmask of the vertices of degree >= d.
+        """
+        masks: List[int] = []
+        for neighbours in adjacency:
+            mask = 0
+            for t in neighbours:
+                mask |= 1 << t
+            masks.append(mask)
+        self._neighbor_masks: Tuple[int, ...] = tuple(masks)
+        self._label_ids: Tuple[int, ...] = tuple(
+            intern_label(label) for label in self._labels
+        )
+        label_masks: Dict[int, int] = {}
+        for vertex, label_id in enumerate(self._label_ids):
+            label_masks[label_id] = label_masks.get(label_id, 0) | (1 << vertex)
+        self._label_masks: Dict[int, int] = label_masks
+        self._label_id_counts: Dict[int, int] = {
+            label_id: mask.bit_count() for label_id, mask in label_masks.items()
+        }
+        degrees = [mask.bit_count() for mask in self._neighbor_masks]
+        self._degree_sequence: Tuple[int, ...] = tuple(sorted(degrees, reverse=True))
+        max_degree = max(degrees, default=0)
+        prefix: List[int] = [0] * (max_degree + 2)
+        for vertex, degree in enumerate(degrees):
+            prefix[degree] |= 1 << vertex
+        # Suffix-OR so that prefix[d] covers every vertex of degree >= d.
+        for d in range(max_degree - 1, -1, -1):
+            prefix[d] |= prefix[d + 1]
+        self._degree_prefix_masks: Tuple[int, ...] = tuple(prefix)
+        # Lazily-built per-label neighbour-count threshold masks (GraphQL-style
+        # 1-hop profile pruning); dataset graphs are matched against many
+        # queries, so the table amortises across calls.
+        self._nbr_label_ge_masks: Dict[int, Tuple[int, ...]] | None = None
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -158,6 +222,93 @@ class Graph:
         return 0 <= vertex < len(self._labels)
 
     # ------------------------------------------------------------------ #
+    # Bitmask views (matcher hot paths)
+    # ------------------------------------------------------------------ #
+    @property
+    def neighbor_masks(self) -> Tuple[int, ...]:
+        """Per-vertex adjacency bitmasks: bit ``t`` of entry ``v`` means edge ``(v, t)``."""
+        return self._neighbor_masks
+
+    def neighbor_mask(self, vertex: int) -> int:
+        """Bitmask of the neighbours of ``vertex``."""
+        return self._neighbor_masks[vertex]
+
+    @property
+    def label_ids(self) -> Tuple[int, ...]:
+        """Interned label id of each vertex (shared across all graphs)."""
+        return self._label_ids
+
+    def label_id(self, vertex: int) -> int:
+        """Interned label id of ``vertex``."""
+        return self._label_ids[vertex]
+
+    def label_mask(self, label: object) -> int:
+        """Bitmask of the vertices carrying ``label`` (0 if the label is absent).
+
+        Pure lookup: a label this process has never interned cannot be in any
+        graph, so the probe must not grow the intern table as a side effect.
+        """
+        label_id = _LABEL_INTERN.get(label)
+        if label_id is None:
+            return 0
+        return self._label_masks.get(label_id, 0)
+
+    def label_id_mask(self, label_id: int) -> int:
+        """Bitmask of the vertices whose interned label id is ``label_id``."""
+        return self._label_masks.get(label_id, 0)
+
+    @property
+    def label_id_histogram(self) -> Dict[int, int]:
+        """Mapping ``interned label id -> vertex count``.  Treat as read-only:
+        the dict is the precomputed internal table, returned without copying
+        because necessary-condition filters read it on every match call."""
+        return self._label_id_counts
+
+    def degree_ge_mask(self, min_degree: int) -> int:
+        """Bitmask of the vertices with degree >= ``min_degree``."""
+        if min_degree <= 0:
+            return self._degree_prefix_masks[0]
+        if min_degree >= len(self._degree_prefix_masks):
+            return 0
+        return self._degree_prefix_masks[min_degree]
+
+    @property
+    def full_vertex_mask(self) -> int:
+        """Bitmask with one bit set per vertex."""
+        return (1 << len(self._labels)) - 1
+
+    def neighbor_label_ge_mask(self, label_id: int, min_count: int) -> int:
+        """Bitmask of vertices with >= ``min_count`` neighbours labelled ``label_id``.
+
+        The per-label threshold tables are built lazily and cached: the graph
+        is immutable, and target graphs are probed by many pattern vertices
+        over their lifetime.
+        """
+        table = self._nbr_label_ge_masks
+        if table is None:
+            table = {}
+            self._nbr_label_ge_masks = table
+        per_label = table.get(label_id)
+        if per_label is None:
+            label_mask = self._label_masks.get(label_id, 0)
+            counts = [
+                (mask & label_mask).bit_count() for mask in self._neighbor_masks
+            ]
+            max_count = max(counts, default=0)
+            thresholds: List[int] = [0] * (max_count + 2)
+            for vertex, count in enumerate(counts):
+                thresholds[count] |= 1 << vertex
+            for c in range(max_count - 1, -1, -1):
+                thresholds[c] |= thresholds[c + 1]
+            per_label = tuple(thresholds)
+            table[label_id] = per_label
+        if min_count <= 0:
+            return self.full_vertex_mask
+        if min_count >= len(per_label):
+            return 0
+        return per_label[min_count]
+
+    # ------------------------------------------------------------------ #
     # Structural summaries
     # ------------------------------------------------------------------ #
     @property
@@ -178,8 +329,8 @@ class Graph:
         return self._vertices_by_label.get(label, ())
 
     def degree_sequence(self) -> Tuple[int, ...]:
-        """Non-increasing degree sequence."""
-        return tuple(sorted((len(a) for a in self._adjacency), reverse=True))
+        """Non-increasing degree sequence (precomputed at construction)."""
+        return self._degree_sequence
 
     def average_degree(self) -> float:
         """Average vertex degree (0.0 for the empty graph)."""
@@ -240,6 +391,13 @@ class Graph:
         clone._label_histogram = self._label_histogram
         clone._vertices_by_label = self._vertices_by_label
         clone._hash = self._hash
+        clone._neighbor_masks = self._neighbor_masks
+        clone._label_ids = self._label_ids
+        clone._label_masks = self._label_masks
+        clone._degree_sequence = self._degree_sequence
+        clone._degree_prefix_masks = self._degree_prefix_masks
+        clone._nbr_label_ge_masks = self._nbr_label_ge_masks
+        clone._label_id_counts = self._label_id_counts
         return clone
 
     def induced_subgraph(self, vertices: Iterable[int]) -> "Graph":

@@ -29,9 +29,14 @@ __all__ = [
 
 
 def label_histogram_dominates(small: Graph, large: Graph) -> bool:
-    """Return ``True`` if ``large`` has at least as many vertices of every label of ``small``."""
-    for label, count in small.label_histogram.items():
-        if large.label_count(label) < count:
+    """Return ``True`` if ``large`` has at least as many vertices of every label of ``small``.
+
+    Compares the precomputed interned-label histograms: no dict copies and no
+    label-object hashing on this per-match-call hot path.
+    """
+    large_counts = large.label_id_histogram
+    for label_id, count in small.label_id_histogram.items():
+        if large_counts.get(label_id, 0) < count:
             return False
     return True
 

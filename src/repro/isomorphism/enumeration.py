@@ -37,59 +37,41 @@ def iter_embeddings(
 
     matcher = VF2PlusMatcher()
     order = matcher._order(pattern, target)
+    n = len(order)
+    target_masks = target.neighbor_masks
     position_of = {vertex: pos for pos, vertex in enumerate(order)}
-    mapped_neighbors: List[List[int]] = [
-        [nb for nb in pattern.neighbors(vertex) if position_of[nb] < pos]
+    anchor_positions: List[List[int]] = [
+        [position_of[nb] for nb in pattern.neighbors(vertex) if position_of[nb] < pos]
         for pos, vertex in enumerate(order)
     ]
+    base_masks: List[int] = [
+        target.label_id_mask(pattern.label_id(vertex))
+        & target.degree_ge_mask(pattern.degree(vertex))
+        for vertex in order
+    ]
 
-    mapping: Dict[int, int] = {}
-    used: set = set()
+    images: List[int] = [0] * n
 
-    def candidates(pos: int) -> List[int]:
-        vertex = order[pos]
-        anchors = mapped_neighbors[pos]
-        if anchors:
-            sets = sorted((target.neighbors(mapping[a]) for a in anchors), key=len)
-            pool = set(sets[0])
-            for other in sets[1:]:
-                pool &= other
-                if not pool:
-                    break
-        else:
-            pool = set(range(target.order))
-        label = pattern.label(vertex)
-        degree = pattern.degree(vertex)
-        return sorted(
-            t
-            for t in pool
-            if t not in used
-            and target.label(t) == label
-            and target.degree(t) >= degree
-        )
-
-    def backtrack(pos: int) -> Iterator[Dict[int, int]]:
-        if pos == len(order):
-            yield dict(mapping)
+    def backtrack(pos: int, used_mask: int) -> Iterator[Dict[int, int]]:
+        if pos == n:
+            yield {vertex: images[position_of[vertex]] for vertex in order}
             return
-        vertex = order[pos]
-        for candidate in candidates(pos):
+        # Candidates: label/degree-compatible, unused, adjacent to the images
+        # of every already-mapped pattern neighbour.  Bits are consumed in
+        # ascending vertex order, matching the previous sorted() behaviour.
+        pool = base_masks[pos] & ~used_mask
+        for anchor in anchor_positions[pos]:
+            pool &= target_masks[images[anchor]]
+            if not pool:
+                return
+        while pool:
+            low = pool & -pool
+            pool ^= low
             budget.tick()
-            ok = True
-            for neighbour in pattern.neighbors(vertex):
-                image = mapping.get(neighbour)
-                if image is not None and not target.has_edge(candidate, image):
-                    ok = False
-                    break
-            if not ok:
-                continue
-            mapping[vertex] = candidate
-            used.add(candidate)
-            yield from backtrack(pos + 1)
-            del mapping[vertex]
-            used.discard(candidate)
+            images[pos] = low.bit_length() - 1
+            yield from backtrack(pos + 1, used_mask | low)
 
-    yield from backtrack(0)
+    yield from backtrack(0, 0)
 
 
 def count_embeddings(

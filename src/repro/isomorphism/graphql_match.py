@@ -15,6 +15,10 @@ we reproduce here:
 2. **Search-order optimisation.**  The backtracking search maps pattern
    vertices in ascending order of candidate-set size (most selective first),
    refined at each level.
+
+Candidate sets are carried as integer bitmasks (one bit per target vertex) so
+that refinement and the per-level adjacency restriction are single ``&``
+operations; see :class:`repro.graphs.graph.Graph` for the precomputed masks.
 """
 
 from __future__ import annotations
@@ -29,12 +33,29 @@ __all__ = ["GraphQLMatcher"]
 
 
 def _neighbour_label_counter(graph: Graph, vertex: int) -> Counter:
-    return Counter(graph.label(n) for n in graph.neighbors(vertex))
+    label_ids = graph.label_ids
+    mask = graph.neighbor_mask(vertex)
+    counter: Counter = Counter()
+    while mask:
+        low = mask & -mask
+        mask ^= low
+        counter[label_ids[low.bit_length() - 1]] += 1
+    return counter
 
 
 def _counter_covers(big: Counter, small: Counter) -> bool:
     """Return True if multiset ``big`` contains multiset ``small``."""
     return all(big.get(label, 0) >= count for label, count in small.items())
+
+
+def _mask_bits(mask: int) -> List[int]:
+    """Vertex ids of the set bits of ``mask``, ascending."""
+    bits: List[int] = []
+    while mask:
+        low = mask & -mask
+        mask ^= low
+        bits.append(low.bit_length() - 1)
+    return bits
 
 
 class GraphQLMatcher(SubgraphMatcher):
@@ -45,50 +66,58 @@ class GraphQLMatcher(SubgraphMatcher):
     #: Number of global refinement sweeps applied before search.
     refinement_rounds = 2
 
-    def _initial_candidates(self, pattern: Graph, target: Graph) -> List[set]:
-        pattern_profiles = [
-            _neighbour_label_counter(pattern, v) for v in pattern.vertices()
-        ]
-        target_profiles = [
-            _neighbour_label_counter(target, v) for v in target.vertices()
-        ]
-        candidates: List[set] = []
-        for p_vertex in pattern.vertices():
-            label = pattern.label(p_vertex)
-            degree = pattern.degree(p_vertex)
-            profile = pattern_profiles[p_vertex]
-            cset = {
-                t_vertex
-                for t_vertex in target.vertices_with_label(label)
-                if target.degree(t_vertex) >= degree
-                and _counter_covers(target_profiles[t_vertex], profile)
-            }
-            candidates.append(cset)
-        return candidates
+    def _initial_candidate_masks(self, pattern: Graph, target: Graph) -> List[int]:
+        """Per-pattern-vertex candidate bitmasks after the 1-hop profile test.
 
-    def _refine(self, pattern: Graph, target: Graph, candidates: List[set]) -> bool:
+        The neighbour-label multiset coverage test runs entirely on the
+        target's cached per-label threshold masks: a candidate needs at least
+        ``count`` neighbours of label ``l`` for every ``(l, count)`` in the
+        pattern vertex's profile, which is one ``&`` per profile entry.
+        """
+        masks: List[int] = []
+        for p_vertex in pattern.vertices():
+            pool = target.label_id_mask(pattern.label_id(p_vertex)) & target.degree_ge_mask(
+                pattern.degree(p_vertex)
+            )
+            if pool:
+                for label_id, count in _neighbour_label_counter(pattern, p_vertex).items():
+                    pool &= target.neighbor_label_ge_mask(label_id, count)
+                    if not pool:
+                        break
+            masks.append(pool)
+        return masks
+
+    def _initial_candidates(self, pattern: Graph, target: Graph) -> List[set]:
+        """Set view of :meth:`_initial_candidate_masks` (kept for inspection)."""
+        return [set(_mask_bits(mask)) for mask in self._initial_candidate_masks(pattern, target)]
+
+    def _refine(self, pattern: Graph, target: Graph, candidates: List[int]) -> bool:
         """Pseudo-isomorphism refinement: neighbours must be coverable.
 
         A candidate ``t`` for pattern vertex ``p`` survives a round if every
         pattern neighbour of ``p`` has at least one of its own candidates
         inside the target neighbourhood of ``t``.  (This is the 1-round
         approximation of GraphQL's bipartite semi-perfect matching test; it is
-        sound — it never removes a true match.)
+        sound — it never removes a true match.)  ``candidates`` is a list of
+        bitmasks, mutated in place.
         """
+        target_masks = target.neighbor_masks
+        pattern_neighbors = [list(pattern.neighbors(v)) for v in pattern.vertices()]
         for _ in range(self.refinement_rounds):
             changed = False
             for p_vertex in pattern.vertices():
-                survivors = set()
-                for t_candidate in candidates[p_vertex]:
-                    ok = True
-                    t_neighbourhood = target.neighbors(t_candidate)
-                    for p_neighbour in pattern.neighbors(p_vertex):
-                        if not (candidates[p_neighbour] & t_neighbourhood):
-                            ok = False
+                survivors = 0
+                probe = candidates[p_vertex]
+                while probe:
+                    low = probe & -probe
+                    probe ^= low
+                    t_neighbourhood = target_masks[low.bit_length() - 1]
+                    for p_neighbour in pattern_neighbors[p_vertex]:
+                        if not candidates[p_neighbour] & t_neighbourhood:
                             break
-                    if ok:
-                        survivors.add(t_candidate)
-                if len(survivors) != len(candidates[p_vertex]):
+                    else:
+                        survivors |= low
+                if survivors != candidates[p_vertex]:
                     candidates[p_vertex] = survivors
                     changed = True
                     if not survivors:
@@ -97,11 +126,19 @@ class GraphQLMatcher(SubgraphMatcher):
                 break
         return True
 
-    def _search_order(self, pattern: Graph, candidates: List[set]) -> List[int]:
+    @staticmethod
+    def _candidate_count(candidates: object) -> int:
+        """Size of a candidate set given as a bitmask or a plain set."""
+        if isinstance(candidates, int):
+            return candidates.bit_count()
+        return len(candidates)
+
+    def _search_order(self, pattern: Graph, candidates: List) -> List[int]:
         """Order pattern vertices by increasing candidate-set size, keeping
         connectivity: after the first vertex, prefer vertices adjacent to the
-        already-ordered prefix."""
+        already-ordered prefix.  Accepts bitmask or set candidate lists."""
         n = pattern.order
+        sizes = [self._candidate_count(c) for c in candidates]
         ordered: List[int] = []
         placed = set()
         remaining = set(range(n))
@@ -112,7 +149,7 @@ class GraphQLMatcher(SubgraphMatcher):
                 if any(nb in placed for nb in pattern.neighbors(v))
             }
             pool = adjacent if adjacent else remaining
-            vertex = min(pool, key=lambda v: (len(candidates[v]), v))
+            vertex = min(pool, key=lambda v: (sizes[v], v))
             ordered.append(vertex)
             placed.add(vertex)
             remaining.discard(vertex)
@@ -125,7 +162,7 @@ class GraphQLMatcher(SubgraphMatcher):
         budget: SearchBudget,
         want_embedding: bool,
     ) -> Optional[Dict[int, int]]:
-        candidates = self._initial_candidates(pattern, target)
+        candidates = self._initial_candidate_masks(pattern, target)
         if any(not c for c in candidates):
             return None
         if not self._refine(pattern, target, candidates):
@@ -133,33 +170,38 @@ class GraphQLMatcher(SubgraphMatcher):
 
         order = self._search_order(pattern, candidates)
         n = len(order)
-        mapping: Dict[int, int] = {}
-        used: set = set()
+        target_masks = target.neighbor_masks
+        position_of = {vertex: pos for pos, vertex in enumerate(order)}
+        anchor_positions: List[List[int]] = [
+            [position_of[nb] for nb in pattern.neighbors(vertex) if position_of[nb] < pos]
+            for pos, vertex in enumerate(order)
+        ]
+
+        images: List[int] = [0] * n
+        used_mask = 0
 
         def backtrack(pos: int) -> bool:
+            nonlocal used_mask
             if pos == n:
                 return True
-            vertex = order[pos]
-            pool = candidates[vertex]
-            # Restrict by adjacency to already-mapped neighbours.
-            for neighbour in pattern.neighbors(vertex):
-                image = mapping.get(neighbour)
-                if image is not None:
-                    pool = pool & target.neighbors(image)
-                    if not pool:
-                        return False
-            for candidate in sorted(pool):
-                if candidate in used:
-                    continue
+            # Restrict by adjacency to already-mapped neighbours; bits are
+            # consumed in ascending vertex order (the previous sorted() order).
+            pool = candidates[order[pos]] & ~used_mask
+            for anchor in anchor_positions[pos]:
+                pool &= target_masks[images[anchor]]
+                if not pool:
+                    return False
+            while pool:
+                low = pool & -pool
+                pool ^= low
                 budget.tick()
-                mapping[vertex] = candidate
-                used.add(candidate)
+                images[pos] = low.bit_length() - 1
+                used_mask |= low
                 if backtrack(pos + 1):
                     return True
-                del mapping[vertex]
-                used.discard(candidate)
+                used_mask &= ~low
             return False
 
         if backtrack(0):
-            return dict(mapping)
+            return {vertex: images[position_of[vertex]] for vertex in order}
         return None

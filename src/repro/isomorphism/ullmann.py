@@ -67,6 +67,20 @@ class UllmannMatcher(SubgraphMatcher):
                         return False
         return True
 
+    # ------------------------------------------------------------------ #
+    # Bitmask twin of ``_initial_domains``: the search operates on integer
+    # domain masks (one bit per target vertex) so that copy-and-restrict and
+    # arc-consistency propagation are plain ``&`` operations.  (The set-based
+    # helpers above are kept as the inspectable/reference API.)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _initial_domain_masks(pattern: Graph, target: Graph) -> List[int]:
+        return [
+            target.label_id_mask(pattern.label_id(p_vertex))
+            & target.degree_ge_mask(pattern.degree(p_vertex))
+            for p_vertex in pattern.vertices()
+        ]
+
     def _search(
         self,
         pattern: Graph,
@@ -74,58 +88,97 @@ class UllmannMatcher(SubgraphMatcher):
         budget: SearchBudget,
         want_embedding: bool,
     ) -> Optional[Dict[int, int]]:
-        domains = self._initial_domains(pattern, target)
+        domains = self._initial_domain_masks(pattern, target)
         if any(not d for d in domains):
-            return None
-        if not self._refine(pattern, target, domains):
             return None
 
         n = pattern.order
+        target_masks = target.neighbor_masks
+        pattern_neighbors = [list(pattern.neighbors(v)) for v in pattern.vertices()]
         mapping: Dict[int, int] = {}
-        used: set = set()
 
-        def backtrack(depth: int, domains: List[set]) -> bool:
+        def refine(domains: List[int], dirty: set) -> bool:
+            """Worklist arc-consistency: re-check only vertices whose
+            neighbourhood constraints may have changed."""
+            while dirty:
+                p_vertex = dirty.pop()
+                survivors = 0
+                probe = domains[p_vertex]
+                while probe:
+                    low = probe & -probe
+                    probe ^= low
+                    t_neighbourhood = target_masks[low.bit_length() - 1]
+                    for p_neighbour in pattern_neighbors[p_vertex]:
+                        if not domains[p_neighbour] & t_neighbourhood:
+                            break
+                    else:
+                        survivors |= low
+                if survivors != domains[p_vertex]:
+                    if not survivors:
+                        return False
+                    domains[p_vertex] = survivors
+                    dirty.update(pattern_neighbors[p_vertex])
+            return True
+
+        if not refine(domains, set(range(n))):
+            return None
+
+        def backtrack(depth: int, domains: List[int], used_mask: int) -> bool:
             if depth == n:
                 return True
             # Choose the unassigned pattern vertex with the smallest domain
             # (fail-first heuristic).
             unassigned = [v for v in range(n) if v not in mapping]
-            vertex = min(unassigned, key=lambda v: len(domains[v]))
-            for candidate in sorted(domains[vertex]):
-                if candidate in used:
-                    continue
+            vertex = min(unassigned, key=lambda v: domains[v].bit_count())
+            pool = domains[vertex] & ~used_mask
+            while pool:
+                low = pool & -pool
+                pool ^= low
+                candidate = low.bit_length() - 1
                 budget.tick()
-                # Copy-and-restrict domains for the recursive call.
-                next_domains = [set(d) for d in domains]
-                next_domains[vertex] = {candidate}
+                # Copy-and-restrict domains for the recursive call, tracking
+                # which domains actually shrank: the parent state is already
+                # arc-consistent, so only neighbours of shrunk domains can
+                # lose support and need re-checking.
+                next_domains = list(domains)
+                next_domains[vertex] = low
+                changed = [vertex]
                 for other in range(n):
                     if other != vertex:
-                        next_domains[other].discard(candidate)
+                        restricted = next_domains[other] & ~low
+                        if restricted != next_domains[other]:
+                            next_domains[other] = restricted
+                            changed.append(other)
                 # Pattern neighbours of ``vertex`` must map to target
                 # neighbours of ``candidate``.
                 feasible = True
-                for neighbour in pattern.neighbors(vertex):
+                candidate_neighbourhood = target_masks[candidate]
+                for neighbour in pattern_neighbors[vertex]:
                     if neighbour in mapping:
-                        if not target.has_edge(candidate, mapping[neighbour]):
+                        if not candidate_neighbourhood & (1 << mapping[neighbour]):
                             feasible = False
                             break
                     else:
-                        next_domains[neighbour] &= target.neighbors(candidate)
-                        if not next_domains[neighbour]:
+                        restricted = next_domains[neighbour] & candidate_neighbourhood
+                        if not restricted:
                             feasible = False
                             break
+                        if restricted != next_domains[neighbour]:
+                            next_domains[neighbour] = restricted
+                            changed.append(neighbour)
                 if not feasible:
                     continue
-                if not self._refine(pattern, target, next_domains):
+                dirty: set = set()
+                for c in changed:
+                    dirty.update(pattern_neighbors[c])
+                if not refine(next_domains, dirty):
                     continue
                 mapping[vertex] = candidate
-                used.add(candidate)
-                if backtrack(depth + 1, next_domains):
+                if backtrack(depth + 1, next_domains, used_mask | low):
                     return True
                 del mapping[vertex]
-                used.discard(candidate)
             return False
 
-        if backtrack(0, domains):
+        if backtrack(0, domains, 0):
             return dict(mapping)
         return None

@@ -17,7 +17,8 @@ undirected graphs:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..graphs.graph import Graph
 from .base import SearchBudget, SubgraphMatcher
@@ -30,42 +31,95 @@ def connectivity_order(pattern: Graph, priority: Optional[Sequence[float]] = Non
 
     ``priority`` (higher = earlier) breaks ties among frontier vertices; by
     default vertices are taken in id order, which reproduces the behaviour of
-    the original VF2 on its input ordering.
+    the original VF2 on its input ordering.  Implemented with lazy-deletion
+    heaps over ``(-priority, vertex)`` so each step costs ``O(log n)`` instead
+    of a linear scan; the selection rule (highest priority, then lowest vertex
+    id, new components seeded from the best remaining vertex) is unchanged.
     """
     n = pattern.order
     if n == 0:
         return []
     if priority is None:
         priority = [0.0] * n
+    neighbor_masks = pattern.neighbor_masks
     ordered: List[int] = []
-    placed = [False] * n
-    remaining = set(range(n))
-    while remaining:
-        # Start a new component at the highest-priority remaining vertex.
-        start = max(remaining, key=lambda v: (priority[v], -v))
-        component_frontier = {start}
-        while component_frontier:
-            vertex = max(component_frontier, key=lambda v: (priority[v], -v))
-            component_frontier.discard(vertex)
-            if placed[vertex]:
-                continue
-            placed[vertex] = True
-            ordered.append(vertex)
-            remaining.discard(vertex)
-            for neighbour in pattern.neighbors(vertex):
-                if not placed[neighbour]:
-                    component_frontier.add(neighbour)
+    placed_mask = 0
+    remaining_heap = [(-priority[v], v) for v in range(n)]
+    heapq.heapify(remaining_heap)
+    frontier: List[tuple] = []
+    while len(ordered) < n:
+        # Prefer the component frontier; fall back to the best remaining
+        # vertex (starting a new component).  Stale heap entries (vertices
+        # placed since they were pushed) are skipped lazily.
+        heap = frontier if frontier else remaining_heap
+        vertex = heapq.heappop(heap)[1]
+        if placed_mask >> vertex & 1:
+            continue
+        placed_mask |= 1 << vertex
+        ordered.append(vertex)
+        fresh = neighbor_masks[vertex] & ~placed_mask
+        while fresh:
+            low = fresh & -fresh
+            fresh ^= low
+            neighbour = low.bit_length() - 1
+            heapq.heappush(frontier, (-priority[neighbour], neighbour))
     return ordered
 
 
 class VF2Matcher(SubgraphMatcher):
-    """Vanilla VF2 for non-induced, vertex-labelled subgraph isomorphism."""
+    """Vanilla VF2 for non-induced, vertex-labelled subgraph isomorphism.
+
+    The per-pair search *plan* — vertex order, per-position anchor positions,
+    look-ahead degrees and label/degree-qualified base candidate masks — is
+    cached on the matcher instance keyed by the ``(pattern, target)`` pair:
+    workloads match the same query against many dataset graphs and repeat
+    query structures, so plan construction (which otherwise dominates cheap
+    searches) amortises to a dict lookup.
+    """
 
     name = "vf2"
+
+    #: Upper bound on cached plans; the cache is cleared when it fills (a
+    #: safety valve — at reproduction scale it never does).
+    PLAN_CACHE_LIMIT = 65536
+
+    def __init__(self) -> None:
+        self._plan_cache: Dict[Tuple[Graph, Graph], tuple] = {}
 
     def _order(self, pattern: Graph, target: Graph) -> List[int]:
         """Pattern vertex processing order; subclasses override to reorder."""
         return connectivity_order(pattern)
+
+    def _plan(self, pattern: Graph, target: Graph) -> tuple:
+        """Cached (order, anchor_positions, unmapped_degrees, base_masks)."""
+        key = (pattern, target)
+        plan = self._plan_cache.get(key)
+        if plan is not None:
+            return plan
+        order = self._order(pattern, target)
+        # Per position: the positions of the pattern neighbours already mapped
+        # when that position is reached (they drive candidate generation), the
+        # number of pattern neighbours still unmapped there (for the one-step
+        # look-ahead), and the label/degree-qualified base candidate mask.
+        position_of = {vertex: pos for pos, vertex in enumerate(order)}
+        anchor_positions: List[List[int]] = []
+        unmapped_pattern_degree: List[int] = []
+        base_masks: List[int] = []
+        for pos, vertex in enumerate(order):
+            anchors = [
+                position_of[nb] for nb in pattern.neighbors(vertex) if position_of[nb] < pos
+            ]
+            anchor_positions.append(anchors)
+            unmapped_pattern_degree.append(pattern.degree(vertex) - len(anchors))
+            base_masks.append(
+                target.label_id_mask(pattern.label_id(vertex))
+                & target.degree_ge_mask(pattern.degree(vertex))
+            )
+        plan = (order, anchor_positions, unmapped_pattern_degree, base_masks)
+        if len(self._plan_cache) >= self.PLAN_CACHE_LIMIT:
+            self._plan_cache.clear()
+        self._plan_cache[key] = plan
+        return plan
 
     def _search(
         self,
@@ -74,79 +128,45 @@ class VF2Matcher(SubgraphMatcher):
         budget: SearchBudget,
         want_embedding: bool,
     ) -> Optional[Dict[int, int]]:
-        order = self._order(pattern, target)
+        order, anchor_positions, unmapped_pattern_degree, base_masks = self._plan(
+            pattern, target
+        )
         n = len(order)
-        mapping: Dict[int, int] = {}
-        used_targets: set = set()
+        target_masks = target.neighbor_masks
 
-        # Precompute, for each position, the pattern neighbours already mapped
-        # when that position is reached: they drive candidate generation.
-        position_of = {vertex: pos for pos, vertex in enumerate(order)}
-        mapped_neighbors: List[List[int]] = []
-        for pos, vertex in enumerate(order):
-            mapped_neighbors.append(
-                [nb for nb in pattern.neighbors(vertex) if position_of[nb] < pos]
-            )
-
-        def candidates(pos: int) -> List[int]:
-            vertex = order[pos]
-            anchors = mapped_neighbors[pos]
-            if anchors:
-                # Intersect neighbourhoods of the images of mapped neighbours.
-                sets = sorted(
-                    (target.neighbors(mapping[a]) for a in anchors), key=len
-                )
-                result = set(sets[0])
-                for other in sets[1:]:
-                    result &= other
-                    if not result:
-                        break
-                pool = result
-            else:
-                pool = range(target.order)
-            label = pattern.label(vertex)
-            degree = pattern.degree(vertex)
-            return [
-                t
-                for t in pool
-                if t not in used_targets
-                and target.label(t) == label
-                and target.degree(t) >= degree
-            ]
-
-        def feasible(vertex: int, candidate: int) -> bool:
-            # Adjacency consistency with every already-mapped pattern neighbour.
-            for neighbour in pattern.neighbors(vertex):
-                image = mapping.get(neighbour)
-                if image is not None and not target.has_edge(candidate, image):
-                    return False
-            # One-step look-ahead: the candidate must have at least as many
-            # unmapped neighbours as the pattern vertex (necessary condition
-            # for extending the mapping later).
-            unmapped_pattern = sum(
-                1 for nb in pattern.neighbors(vertex) if nb not in mapping
-            )
-            unmapped_target = sum(
-                1 for nb in target.neighbors(candidate) if nb not in used_targets
-            )
-            return unmapped_target >= unmapped_pattern
+        images: List[int] = [0] * n  # target image of the vertex at each position
+        used_mask = 0
 
         def backtrack(pos: int) -> bool:
+            nonlocal used_mask
             if pos == n:
                 return True
-            vertex = order[pos]
-            for candidate in candidates(pos):
+            # Candidate pool: label- and degree-compatible target vertices,
+            # unused, adjacent to the image of every already-mapped pattern
+            # neighbour (which also enforces adjacency consistency).
+            pool = base_masks[pos] & ~used_mask
+            for anchor in anchor_positions[pos]:
+                pool &= target_masks[images[anchor]]
+                if not pool:
+                    return False
+            lookahead = unmapped_pattern_degree[pos]
+            while pool:
+                low = pool & -pool
+                pool ^= low
+                candidate = low.bit_length() - 1
                 budget.tick()
-                if not feasible(vertex, candidate):
+                # One-step look-ahead: the candidate must have at least as
+                # many unmapped neighbours as the pattern vertex (necessary
+                # condition for extending the mapping later).
+                if (target_masks[candidate] & ~used_mask).bit_count() < lookahead:
                     continue
-                mapping[vertex] = candidate
-                used_targets.add(candidate)
+                images[pos] = candidate
+                used_mask |= low
                 if backtrack(pos + 1):
                     return True
-                del mapping[vertex]
-                used_targets.discard(candidate)
+                used_mask &= ~low
             return False
 
         if backtrack(0):
-            return dict(mapping)
+            return {vertex: images[pos] for pos, vertex in enumerate(order)}
         return None

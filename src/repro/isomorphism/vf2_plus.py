@@ -26,7 +26,9 @@ class VF2PlusMatcher(VF2Matcher):
         total = max(1, target.order)
         priorities = []
         for vertex in pattern.vertices():
-            frequency = target.label_count(pattern.label(vertex)) / total
+            # Label frequency via the interned-label vertex masks: counting a
+            # popcount is cheaper than hashing the label object itself.
+            frequency = target.label_id_mask(pattern.label_id(vertex)).bit_count() / total
             # Rare labels and high degrees are the most selective; the small
             # frequency term dominates, degree breaks ties.
             priorities.append((1.0 - frequency) * 1000.0 + pattern.degree(vertex))
