@@ -19,12 +19,21 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.cache import CacheQueryResult, GraphCache
 from ..core.config import GraphCacheConfig
+from ..core.pipeline import STAGE_NAMES
+from ..core.service import GraphCacheService
 from ..exceptions import BenchmarkError
 from ..graphs.dataset import GraphDataset
 from ..methods.base import Method
 from ..methods.executor import QueryExecution, execute_query
 from ..workloads.base import Workload
-from .metrics import RunAggregate, SpeedupReport, aggregate_baseline, aggregate_cached, speedup
+from .metrics import (
+    RunAggregate,
+    SpeedupReport,
+    aggregate_baseline,
+    aggregate_cached,
+    aggregate_stage_times,
+    speedup,
+)
 
 __all__ = ["ExperimentResult", "run_baseline", "run_cached", "run_experiment"]
 
@@ -45,17 +54,44 @@ class ExperimentResult:
 
     @property
     def time_speedup(self) -> float:
-        """Query-time speedup of GraphCache over the plain method."""
+        """Query-time speedup of GraphCache over the plain method.
+
+        Guarded against zero denominators on tiny/degenerate workloads:
+        :func:`~repro.bench.metrics.speedup` computes every ratio through
+        :func:`~repro.bench.metrics.finite_ratio`, so the value is always
+        finite and report-safe.
+        """
         return self.speedups.time_speedup
 
     @property
     def subiso_speedup(self) -> float:
-        """Sub-iso-test-count speedup of GraphCache over the plain method."""
+        """Sub-iso-test-count speedup of GraphCache over the plain method.
+
+        Guarded against zero denominators; always finite and report-safe.
+        """
         return self.speedups.subiso_speedup
+
+    def stage_breakdown(self) -> Dict[str, float]:
+        """Average per-query wall-clock seconds spent in each pipeline stage."""
+        return aggregate_stage_times(self.cached_results)
+
+    def counter_breakdown(self) -> Dict[str, int]:
+        """Deterministic work counters summed over the measured cached run."""
+        return {
+            "subiso_tests": sum(r.subiso_tests for r in self.cached_results),
+            "subiso_alleviated": sum(
+                max(0, r.method_candidates - r.subiso_tests)
+                for r in self.cached_results
+            ),
+            "containment_tests": sum(r.containment_tests for r in self.cached_results),
+            "containment_memo_hits": sum(
+                r.containment_memo_hits for r in self.cached_results
+            ),
+        }
 
     def summary_row(self) -> Dict[str, object]:
         """Row dictionary used by the reporting helpers."""
-        return {
+        row: Dict[str, object] = {
             "experiment": self.name,
             "dataset": self.dataset_name,
             "method": self.method_name,
@@ -68,6 +104,11 @@ class ExperimentResult:
             "overhead_ms": round(self.speedups.cached.avg_maintenance_s * 1000.0, 3),
             "hit_rate": round(self.speedups.cached.cache_hit_rate, 3),
         }
+        stages = self.stage_breakdown()
+        for stage in STAGE_NAMES:
+            row[f"{stage}_ms"] = round(stages.get(stage, 0.0) * 1000.0, 3)
+        row.update(self.counter_breakdown())
+        return row
 
 
 def run_baseline(
@@ -93,11 +134,17 @@ def run_cached(
     workload: Workload,
     config: Optional[GraphCacheConfig] = None,
     warmup_queries: Optional[int] = None,
+    jobs: int = 1,
 ) -> tuple:
     """Run ``workload`` through GraphCache over ``method``.
 
     Returns ``(cache, measured_results)`` where ``measured_results`` excludes
-    the warm-up prefix (by default one window, as in the paper).
+    the warm-up prefix (by default one window, as in the paper).  With
+    ``jobs > 1`` the queries go through the batched service facade, which
+    prefetches Method M filtering on ``jobs`` threads; answers and work
+    counters are byte-identical to the serial run — except under wall-clock
+    based admission control (``config.admission_control``), whose threshold
+    calibrates on measured times and is non-deterministic even serially.
     """
     config = config or GraphCacheConfig()
     if warmup_queries is None:
@@ -108,7 +155,10 @@ def run_cached(
             f"of {len(workload)} queries"
         )
     cache = GraphCache(method, config=config)
-    results = [cache.query(query) for query in workload]
+    if jobs > 1:
+        results = GraphCacheService(cache).query_many(list(workload), jobs=jobs)
+    else:
+        results = [cache.query(query) for query in workload]
     return cache, results[warmup_queries:]
 
 
@@ -118,12 +168,14 @@ def run_experiment(
     workload: Workload,
     config: Optional[GraphCacheConfig] = None,
     baseline_executions: Optional[Sequence[QueryExecution]] = None,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Run one experiment cell: baseline vs GraphCache on the same workload.
 
     ``baseline_executions`` may be supplied to reuse a baseline run across
     several cells that share the same method and workload (e.g. the five
-    replacement policies of Figure 4).
+    replacement policies of Figure 4).  ``jobs`` is forwarded to
+    :func:`run_cached` (concurrent Mfilter prefetch; counters unchanged).
     """
     config = config or GraphCacheConfig()
     warmup = config.warmup_windows * config.window_size
@@ -131,7 +183,7 @@ def run_experiment(
         baseline_executions = run_baseline(
             method, workload, warmup_queries=warmup, query_mode=config.query_mode
         )
-    cache, cached_results = run_cached(method, workload, config=config)
+    cache, cached_results = run_cached(method, workload, config=config, jobs=jobs)
 
     report = speedup(
         aggregate_baseline(baseline_executions), aggregate_cached(cached_results)

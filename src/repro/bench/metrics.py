@@ -18,7 +18,33 @@ from typing import Dict, List, Sequence
 from ..methods.executor import QueryExecution
 from ..core.cache import CacheQueryResult
 
-__all__ = ["RunAggregate", "SpeedupReport", "aggregate_baseline", "aggregate_cached", "speedup"]
+__all__ = [
+    "RATIO_CAP",
+    "RunAggregate",
+    "SpeedupReport",
+    "aggregate_baseline",
+    "aggregate_cached",
+    "aggregate_stage_times",
+    "finite_ratio",
+    "speedup",
+]
+
+#: Upper bound on reported speedup ratios.  Tiny/degenerate workloads can
+#: drive a denominator to zero (e.g. every measured query is an exact hit);
+#: returning a capped finite value instead of ``inf`` keeps report rows
+#: round()-, JSON- and table-safe.
+RATIO_CAP = 1e6
+
+
+def finite_ratio(reference: float, observed: float, cap: float = RATIO_CAP) -> float:
+    """``reference / observed`` guarded against zero denominators.
+
+    Returns 1.0 when both sides are zero (no work either way — no speedup)
+    and ``cap`` when only the denominator collapsed; never ``inf``/``nan``.
+    """
+    if observed <= 0.0:
+        return 1.0 if reference <= 0.0 else cap
+    return min(cap, reference / observed)
 
 
 @dataclass(frozen=True)
@@ -93,6 +119,18 @@ def aggregate_baseline(executions: Sequence[QueryExecution]) -> RunAggregate:
     )
 
 
+def aggregate_stage_times(results: Sequence[CacheQueryResult]) -> Dict[str, float]:
+    """Average per-query wall-clock seconds spent in each pipeline stage."""
+    count = len(results)
+    if count == 0:
+        return {}
+    totals: Dict[str, float] = {}
+    for result in results:
+        for stage, elapsed in result.stage_times.items():
+            totals[stage] = totals.get(stage, 0.0) + elapsed
+    return {stage: total / count for stage, total in totals.items()}
+
+
 def aggregate_cached(results: Sequence[CacheQueryResult]) -> RunAggregate:
     """Aggregate the per-query records of a GraphCache run."""
     if not results:
@@ -117,15 +155,9 @@ def aggregate_cached(results: Sequence[CacheQueryResult]) -> RunAggregate:
 
 def speedup(baseline: RunAggregate, cached: RunAggregate) -> SpeedupReport:
     """Compute the paper's speedup metrics from two aggregated runs."""
-
-    def ratio(reference: float, observed: float) -> float:
-        if observed <= 0.0:
-            return float("inf") if reference > 0.0 else 1.0
-        return reference / observed
-
     return SpeedupReport(
-        time_speedup=ratio(baseline.avg_time_s, cached.avg_time_s),
-        subiso_speedup=ratio(baseline.avg_subiso_tests, cached.avg_subiso_tests),
+        time_speedup=finite_ratio(baseline.avg_time_s, cached.avg_time_s),
+        subiso_speedup=finite_ratio(baseline.avg_subiso_tests, cached.avg_subiso_tests),
         baseline=baseline,
         cached=cached,
     )

@@ -9,7 +9,10 @@ writing Python:
 * ``graphcache workload`` — generate a Type A or Type B workload from a
   dataset and save it;
 * ``graphcache run`` — run one experiment (plain Method M vs GraphCache) and
-  print the speedup report;
+  print the speedup report (``--jobs N`` prefetches Method M filtering on N
+  threads through the batched service facade);
+* ``graphcache batch`` — push a workload through ``GraphCacheService.
+  query_many`` and print the per-stage pipeline breakdown and work counters;
 * ``graphcache policies`` — compare the five replacement policies on one
   configuration (a one-command miniature of the paper's Figure 4).
 
@@ -24,10 +27,17 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from ..bench.harness import run_baseline, run_experiment
-from ..bench.metrics import aggregate_baseline, aggregate_cached, speedup
+from ..bench.metrics import (
+    aggregate_baseline,
+    aggregate_cached,
+    aggregate_stage_times,
+    speedup,
+)
 from ..bench.reporting import format_table
 from ..core.cache import GraphCache
 from ..core.config import GraphCacheConfig
+from ..core.pipeline import STAGE_NAMES
+from ..core.service import GraphCacheService
 from ..core.replacement import available_policies
 from ..graphs.generators import DATASET_FACTORIES, dataset_by_name
 from ..graphs.io import load_dataset, save_dataset
@@ -81,6 +91,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_experiment_arguments(run)
     run.add_argument("--policy", choices=available_policies(), default="hd",
                      help="cache replacement policy")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="threads prefetching Method M filtering (answers and "
+                          "work counters are identical to --jobs 1, except "
+                          "under --admission-control, whose threshold "
+                          "calibrates on measured wall-clock times)")
+
+    # batch -------------------------------------------------------------------- #
+    batch = subparsers.add_parser(
+        "batch",
+        help="answer a workload through the batched GraphCacheService facade "
+             "and print the per-stage pipeline breakdown",
+    )
+    _add_experiment_arguments(batch)
+    batch.add_argument("--policy", choices=available_policies(), default="hd",
+                       help="cache replacement policy")
+    batch.add_argument("--jobs", type=int, default=4,
+                       help="threads prefetching Method M filtering")
+    batch.add_argument("--parallel-stages", action="store_true",
+                       help="also run Mfilter concurrently with the GC "
+                            "processors inside each query (Figure 2)")
 
     # policies ----------------------------------------------------------------- #
     policies = subparsers.add_parser(
@@ -186,8 +216,37 @@ def _command_run(args: argparse.Namespace) -> int:
         replacement_policy=args.policy,
         admission_control=args.admission_control,
     )
-    result = run_experiment("cli-run", method, workload, config)
+    result = run_experiment("cli-run", method, workload, config, jobs=args.jobs)
     print(format_table([result.summary_row()]))
+    return 0
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    method, workload = _build_experiment(args)
+    config = GraphCacheConfig(
+        cache_capacity=args.cache_size,
+        window_size=args.window_size,
+        replacement_policy=args.policy,
+        admission_control=args.admission_control,
+        execution_mode="parallel" if args.parallel_stages else "serial",
+    )
+    service = GraphCacheService.for_method(method, config)
+    results = service.query_many(list(workload), jobs=args.jobs)
+
+    count = len(results)
+    runtime = service.cache.runtime_statistics
+    stages = aggregate_stage_times(results)
+    row = {
+        "queries": count,
+        "jobs": args.jobs,
+        "hit_rate": round(runtime.cache_hits / max(1, count), 3),
+        "subiso_tests": runtime.subiso_tests,
+        "subiso_alleviated": runtime.subiso_tests_alleviated,
+        "containment_tests": runtime.containment_tests,
+    }
+    for stage in STAGE_NAMES:
+        row[f"{stage}_ms"] = round(stages.get(stage, 0.0) * 1000.0, 3)
+    print(format_table([row]))
     return 0
 
 
@@ -224,6 +283,7 @@ _COMMANDS = {
     "dataset": _command_dataset,
     "workload": _command_workload,
     "run": _command_run,
+    "batch": _command_batch,
     "policies": _command_policies,
 }
 

@@ -5,9 +5,21 @@ from .admission import AdmissionController
 from .cache import CacheQueryResult, CacheRuntimeStatistics, GraphCache
 from .config import GraphCacheConfig
 from .persistence import load_cache, save_cache
+from .pipeline import (
+    STAGE_NAMES,
+    CommitStage,
+    MfilterStage,
+    PipelineStage,
+    ProcessorStage,
+    PruneStage,
+    QueryPipeline,
+    StageContext,
+    VerifyStage,
+)
 from .processors import CacheProcessors, ProcessorOutcome
 from .pruner import CandidateSetPruner, PruningResult
 from .query_index import QueryGraphIndex
+from .service import GraphCacheService
 from .replacement import (
     HybridPolicy,
     LRUPolicy,
@@ -26,8 +38,18 @@ from .window import MaintenanceReport, WindowManager
 __all__ = [
     "GraphCache",
     "GraphCacheConfig",
+    "GraphCacheService",
     "CacheQueryResult",
     "CacheRuntimeStatistics",
+    "QueryPipeline",
+    "StageContext",
+    "PipelineStage",
+    "MfilterStage",
+    "ProcessorStage",
+    "PruneStage",
+    "VerifyStage",
+    "CommitStage",
+    "STAGE_NAMES",
     "AdmissionController",
     "AdaptiveAdmissionController",
     "load_cache",

@@ -14,6 +14,13 @@ the answer sets of previously executed queries (§4, Figure 2):
    when the Window fills up, the Window Manager runs admission control, the
    replacement policy and the GCindex rebuild.
 
+The hit-path itself is implemented as an explicit staged dataflow in
+:mod:`repro.core.pipeline` (``MfilterStage`` → ``ProcessorStage`` →
+``PruneStage`` → ``VerifyStage`` → ``CommitStage``); :class:`GraphCache` is a
+thin orchestrator that owns the shared state and delegates each query to a
+:class:`~repro.core.pipeline.QueryPipeline`.  Batched, multi-query execution
+lives in :class:`~repro.core.service.GraphCacheService`.
+
 Correctness guarantee (proved in the companion paper [34] and enforced by the
 property tests): for every query, the answer set returned with the cache is
 exactly the answer set Method M would return on its own.
@@ -21,6 +28,7 @@ exactly the answer set Method M would return on its own.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
@@ -29,10 +37,19 @@ from ..exceptions import CacheError
 from ..graphs.graph import Graph
 from ..isomorphism.base import SubgraphMatcher
 from ..isomorphism.cost import estimate_subiso_cost
+from ..isomorphism.registry import matcher_by_name
 from ..methods.base import Method
-from ..methods.executor import verify_candidates
 from .admission import AdmissionController
 from .config import GraphCacheConfig
+from .pipeline import (
+    CommitStage,
+    MfilterStage,
+    ProcessorStage,
+    PruneStage,
+    QueryPipeline,
+    StageContext,
+    VerifyStage,
+)
 from .processors import CacheProcessors, ProcessorOutcome
 from .pruner import CandidateSetPruner, PruningResult
 from .query_index import QueryGraphIndex
@@ -81,6 +98,14 @@ class CacheQueryResult:
         Query-vs-query sub-iso tests actually executed by the GC processors.
     containment_memo_hits:
         Query-vs-query verdicts answered from the containment memo instead.
+    stage_times:
+        Per-stage wall-clock seconds, keyed by pipeline stage name
+        (:data:`~repro.core.pipeline.STAGE_NAMES`).  In parallel execution
+        mode ``mfilter`` and ``processors`` overlap in wall-clock, so the
+        values sum to more than the observed latency by design.
+    short_circuit_stage:
+        Name of the pipeline stage that short-circuited verification
+        (``"prune"`` on an exact/empty shortcut), or ``None``.
     """
 
     serial: int
@@ -98,6 +123,8 @@ class CacheQueryResult:
     super_hits: int
     containment_tests: int = 0
     containment_memo_hits: int = 0
+    stage_times: Dict[str, float] = field(default_factory=dict)
+    short_circuit_stage: Optional[str] = None
 
     @property
     def total_time_s(self) -> float:
@@ -149,10 +176,17 @@ class GraphCache:
     method:
         The query-processing method to expedite (FTV or SI).
     config:
-        Cache configuration; defaults to the paper's defaults.
+        Cache configuration; defaults to the paper's defaults.  Setting
+        ``config.execution_mode = "parallel"`` runs Method M's filter
+        concurrently with the GC processors (Figure 2's parallel arrow);
+        ``config.containment_matcher`` names the matcher used for
+        query-vs-query containment checks.
     matcher:
-        Matcher used for query-vs-query containment checks in the GC
-        processors (defaults to the method's own verifier).
+        Explicit matcher override for the containment checks.  The matcher is
+        resolved exactly once, here: the explicit argument wins, then
+        ``config.containment_matcher`` (by registry name), then the method's
+        own verifier — so every pipeline stage shares one matcher instance
+        and its plan cache.
 
     Examples
     --------
@@ -181,8 +215,9 @@ class GraphCache:
         self._window_store = WindowStore(self._config.window_size)
         self._statistics = StatisticsManager()
         self._index = QueryGraphIndex(max_path_length=self._config.index_path_length)
+        self._containment_matcher = self._resolve_containment_matcher(matcher)
         self._processors = CacheProcessors(
-            self._index, matcher=matcher or method.matcher
+            self._index, matcher=self._containment_matcher
         )
         self._pruner = CandidateSetPruner(
             self._cache_store, query_mode=self._config.query_mode
@@ -204,6 +239,27 @@ class GraphCache:
         self._serial = 0
         self._runtime = CacheRuntimeStatistics()
         self._results: List[CacheQueryResult] = []
+        self._serial_lock = threading.Lock()
+        self._gc_lock = threading.RLock()
+        self._pipeline = QueryPipeline(
+            MfilterStage(method),
+            ProcessorStage(self._processors),
+            PruneStage(self._pruner),
+            VerifyStage(method, query_mode=self._config.query_mode),
+            CommitStage(self),
+            gc_lock=self._gc_lock,
+            parallel_filter=self._config.execution_mode == "parallel",
+        )
+
+    def _resolve_containment_matcher(
+        self, matcher: Optional[SubgraphMatcher]
+    ) -> SubgraphMatcher:
+        """Resolve the containment matcher in one place (shared by all stages)."""
+        if matcher is not None:
+            return matcher
+        if self._config.containment_matcher is not None:
+            return matcher_by_name(self._config.containment_matcher)
+        return self._method.matcher
 
     # ------------------------------------------------------------------ #
     @property
@@ -232,6 +288,16 @@ class GraphCache:
         return self._runtime
 
     @property
+    def pipeline(self) -> QueryPipeline:
+        """The staged query pipeline (exposed for inspection and tests)."""
+        return self._pipeline
+
+    @property
+    def containment_matcher(self) -> SubgraphMatcher:
+        """The single matcher shared by the GC processors' containment checks."""
+        return self._containment_matcher
+
+    @property
     def cached_serials(self) -> List[int]:
         """Serial numbers of the currently cached queries."""
         return self._cache_store.serials()
@@ -254,32 +320,56 @@ class GraphCache:
     # ------------------------------------------------------------------ #
     def query(self, query: Graph) -> CacheQueryResult:
         """Answer a subgraph (or supergraph) query through the cache."""
-        self._serial += 1
-        serial = self._serial
+        return self._pipeline.execute(self._new_context(query))
 
-        # (2) Method M filtering.
-        started = time.perf_counter()
-        method_candidates = self._method.candidates(query)
-        filter_time = time.perf_counter() - started
+    def execute_prefiltered(
+        self,
+        query: Graph,
+        method_candidates: FrozenSet[int],
+        filter_time_s: float = 0.0,
+    ) -> CacheQueryResult:
+        """Answer a query whose Mfilter stage was already computed elsewhere.
 
-        # (2) GC processors over the GCindex.
-        outcome = self._processors.process(query)
-
-        # (4) Candidate set pruning.
-        pruning = self._pruner.prune(frozenset(method_candidates), outcome)
-
-        # (5) Verification of the surviving candidates with Mverifier.
-        answers, raw_verify_time, tests, _, _ = verify_candidates(
-            self._method,
+        This is the entry point of the batched service facade: Mfilter is
+        cache-state independent, so candidate sets prefetched concurrently
+        feed the remaining (serially executed) GC stages with answers and
+        work counters byte-identical to :meth:`query`.
+        """
+        ctx = self._new_context(
             query,
-            pruning.final_candidates,
-            query_mode=self._config.query_mode,
+            method_candidates=frozenset(method_candidates),
+            filter_time_s=filter_time_s,
         )
-        verify_time = raw_verify_time / max(1, self._method.verify_parallelism)
-        answer_ids = frozenset(answers | pruning.direct_answers)
+        return self._pipeline.execute(ctx)
+
+    def _new_context(
+        self,
+        query: Graph,
+        method_candidates: Optional[FrozenSet[int]] = None,
+        filter_time_s: float = 0.0,
+    ) -> StageContext:
+        with self._serial_lock:
+            self._serial += 1
+            serial = self._serial
+        return StageContext(
+            query=query,
+            serial=serial,
+            method_candidates=method_candidates,
+            filter_time_s=filter_time_s,
+        )
+
+    def _commit(self, ctx: StageContext) -> None:
+        """CommitStage body: statistics, window admission, result construction.
+
+        Runs under the pipeline's GC lock (one commit at a time), so window
+        maintenance, replacement decisions and counters stay deterministic.
+        """
+        started = time.perf_counter()
+        outcome, pruning = ctx.outcome, ctx.pruning
+        answer_ids = frozenset(ctx.verified_answers | pruning.direct_answers)
 
         # Statistics monitoring: credit contributing cached queries.
-        self._record_contributions(query, serial, outcome, pruning)
+        self._record_contributions(ctx.query, ctx.serial, outcome, pruning)
 
         # Window admission: the executed query joins the Window with its
         # first-execution costs (measured against Method M's own candidate
@@ -287,40 +377,48 @@ class GraphCache:
         maintenance_time = 0.0
         report = self._window_manager.add_query(
             WindowEntry(
-                serial=serial,
-                query=query,
+                serial=ctx.serial,
+                query=ctx.query,
                 answer_ids=answer_ids,
-                filter_time_s=filter_time + outcome.elapsed_s,
-                verify_time_s=verify_time,
+                filter_time_s=ctx.filter_time_s + outcome.elapsed_s,
+                verify_time_s=ctx.verify_time_s,
             )
         )
         if report is not None:
             maintenance_time = report.elapsed_s
+        ctx.maintenance_time_s = maintenance_time
 
+        ctx.stage_times["commit"] = time.perf_counter() - started
         result = CacheQueryResult(
-            serial=serial,
+            serial=ctx.serial,
             answer_ids=answer_ids,
-            method_candidates=len(method_candidates),
+            method_candidates=len(ctx.method_candidates),
             final_candidates=len(pruning.final_candidates),
             direct_answers=len(pruning.direct_answers),
-            subiso_tests=tests,
-            filter_time_s=filter_time,
+            subiso_tests=ctx.subiso_tests,
+            filter_time_s=ctx.filter_time_s,
             gc_filter_time_s=outcome.elapsed_s,
-            verify_time_s=verify_time,
+            verify_time_s=ctx.verify_time_s,
             maintenance_time_s=maintenance_time,
             shortcut=pruning.shortcut,
             sub_hits=len(outcome.result_sub),
             super_hits=len(outcome.result_super),
             containment_tests=outcome.containment_tests,
             containment_memo_hits=outcome.memo_hits,
+            stage_times=dict(ctx.stage_times),
+            short_circuit_stage=ctx.short_circuit_stage,
         )
-        self._update_runtime(result, len(method_candidates))
+        self._update_runtime(result, len(ctx.method_candidates))
         self._results.append(result)
-        return result
+        ctx.result = result
 
     def answer(self, query: Graph) -> FrozenSet[int]:
         """Convenience wrapper returning only the answer set."""
         return self.query(query).answer_ids
+
+    def close(self) -> None:
+        """Release pipeline resources (the parallel-mode Mfilter helper pool)."""
+        self._pipeline.close()
 
     def results(self) -> List[CacheQueryResult]:
         """Per-query results since the cache was created."""

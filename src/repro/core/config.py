@@ -22,6 +22,7 @@ QueryMode = str
 
 _VALID_MODES = ("subgraph", "supergraph")
 _VALID_POLICIES = ("lru", "pop", "pin", "pinc", "hd")
+_VALID_EXECUTION_MODES = ("serial", "parallel")
 
 
 @dataclass(frozen=True)
@@ -57,6 +58,16 @@ class GraphCacheConfig:
     warmup_windows:
         Number of initial windows excluded from benchmark statistics (the
         paper allows one window before measuring).
+    execution_mode:
+        ``"serial"`` (default) runs the pipeline stages one after another;
+        ``"parallel"`` runs Method M's filter concurrently with the GC
+        processors (the paper's Figure-2 parallel arrow).  Both modes produce
+        identical answers and work counters.
+    containment_matcher:
+        Registry name of the matcher used for query-vs-query containment
+        checks in the GC processors (``None`` = the method's own verifier).
+        Resolved once by :class:`~repro.core.cache.GraphCache` so every
+        pipeline stage shares one matcher instance and plan cache.
     """
 
     cache_capacity: int = 100
@@ -69,6 +80,8 @@ class GraphCacheConfig:
     query_mode: QueryMode = "subgraph"
     index_path_length: int = 3
     warmup_windows: int = 1
+    execution_mode: str = "serial"
+    containment_matcher: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.cache_capacity <= 0:
@@ -92,6 +105,11 @@ class GraphCacheConfig:
             raise CacheError("index_path_length must be >= 1")
         if self.warmup_windows < 0:
             raise CacheError("warmup_windows must be >= 0")
+        if self.execution_mode not in _VALID_EXECUTION_MODES:
+            raise CacheError(
+                f"unknown execution mode {self.execution_mode!r}; "
+                f"valid modes: {', '.join(_VALID_EXECUTION_MODES)}"
+            )
 
     # ------------------------------------------------------------------ #
     def with_policy(self, policy: str) -> "GraphCacheConfig":

@@ -1,0 +1,330 @@
+"""QueryPipeline: the staged, concurrency-ready hit-path of GraphCache.
+
+The paper's architecture (§4, Figure 2) is a dataflow of five stages over
+shared state; this module makes that dataflow explicit instead of burying it
+in one monolithic ``GraphCache.query()``:
+
+* :class:`MfilterStage` — Method M filtering, producing ``CS_M`` (cache-state
+  independent: it only reads the method's own dataset index);
+* :class:`ProcessorStage` — the GCsub/GCsuper processors over the GCindex;
+* :class:`PruneStage` — the Candidate Set Pruner (equations (1)/(2) and the
+  two special cases), which may short-circuit verification entirely;
+* :class:`VerifyStage` — ``Mverifier`` over the surviving candidates;
+* :class:`CommitStage` — statistics recording, window admission and result
+  construction, serialized so counters and maintenance stay deterministic.
+
+Each stage implements the :class:`PipelineStage` protocol and communicates
+through a typed :class:`StageContext`.  :class:`QueryPipeline` orchestrates
+them and supports two execution modes:
+
+* ``serial`` — stages run one after another on the calling thread;
+* ``parallel`` — ``MfilterStage`` runs on a helper thread concurrently with
+  ``ProcessorStage`` (the paper's Figure-2 parallel arrow); the GC stages
+  still execute under the pipeline's GC lock so shared cache state is only
+  ever read/mutated by one query at a time.
+
+Concurrency model.  ``MfilterStage`` and ``VerifyStage`` never touch cache
+state, so they run without the GC lock; ``ProcessorStage`` + ``PruneStage``
+read the GCindex/stores as one critical section, and ``CommitStage`` (which
+can trigger window maintenance and a GCindex rebuild) uses the same lock.
+Because Mfilter is cache-state independent, pre-computing it concurrently for
+many queries and then running the GC stages in serial order — what
+:meth:`~repro.core.service.GraphCacheService.query_many` does — yields
+byte-identical answer sets and work counters to a fully serial run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, Optional, Protocol, Tuple
+
+from ..graphs.graph import Graph
+from ..methods.base import Method
+from ..methods.executor import verify_candidates
+from .processors import CacheProcessors, ProcessorOutcome
+from .pruner import CandidateSetPruner, PruningResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache builds us)
+    from .cache import CacheQueryResult, GraphCache
+
+__all__ = [
+    "STAGE_NAMES",
+    "StageContext",
+    "PipelineStage",
+    "MfilterStage",
+    "ProcessorStage",
+    "PruneStage",
+    "VerifyStage",
+    "CommitStage",
+    "QueryPipeline",
+]
+
+#: Canonical stage order; ``StageContext.stage_times`` is keyed by these names.
+STAGE_NAMES: Tuple[str, ...] = ("mfilter", "processors", "prune", "verify", "commit")
+
+
+@dataclass
+class StageContext:
+    """Mutable per-query context threaded through the pipeline stages.
+
+    Each stage reads the fields of the stages before it and fills in its own;
+    the ``stage_times`` dictionary accumulates per-stage wall-clock seconds.
+    """
+
+    query: Graph
+    serial: int
+
+    # MfilterStage (may be pre-filled by GraphCacheService's batched prefetch).
+    method_candidates: Optional[FrozenSet[int]] = None
+    filter_time_s: float = 0.0
+
+    # ProcessorStage.
+    outcome: Optional[ProcessorOutcome] = None
+
+    # PruneStage.
+    pruning: Optional[PruningResult] = None
+    short_circuit_stage: Optional[str] = None
+
+    # VerifyStage.
+    verified_answers: FrozenSet[int] = frozenset()
+    verify_time_s: float = 0.0
+    subiso_tests: int = 0
+
+    # CommitStage.
+    maintenance_time_s: float = 0.0
+    result: Optional["CacheQueryResult"] = None
+
+    stage_times: Dict[str, float] = field(default_factory=dict)
+
+
+class PipelineStage(Protocol):
+    """One stage of the query pipeline: consume/extend a :class:`StageContext`."""
+
+    name: str
+
+    def run(self, ctx: StageContext) -> None:
+        """Execute the stage, reading and mutating ``ctx`` in place."""
+        ...  # pragma: no cover
+
+
+class MfilterStage:
+    """Method M filtering (``Mfilter``): produce the candidate set ``CS_M``.
+
+    This stage only reads the method's own dataset/index, never cache state —
+    which is what makes it safe to run concurrently with the GC processors
+    (Figure 2) or to prefetch for a whole batch of queries.
+    """
+
+    name = "mfilter"
+
+    def __init__(self, method: Method) -> None:
+        self._method = method
+
+    def run(self, ctx: StageContext) -> None:
+        if ctx.method_candidates is not None:
+            # Prefetched by the batched service facade; surface the filter
+            # time measured on the prefetch worker as this stage's cost.
+            ctx.stage_times[self.name] = ctx.filter_time_s
+            return
+        started = time.perf_counter()
+        ctx.method_candidates = frozenset(self._method.candidates(ctx.query))
+        ctx.filter_time_s = time.perf_counter() - started
+
+
+class ProcessorStage:
+    """GCsub/GCsuper processors: containment relations against the GCindex."""
+
+    name = "processors"
+
+    def __init__(self, processors: CacheProcessors) -> None:
+        self._processors = processors
+
+    @property
+    def processors(self) -> CacheProcessors:
+        """The underlying processor pair (exposed for inspection and tests)."""
+        return self._processors
+
+    def run(self, ctx: StageContext) -> None:
+        ctx.outcome = self._processors.process(ctx.query)
+
+
+class PruneStage:
+    """Candidate Set Pruner: equations (1)/(2) plus the two special cases."""
+
+    name = "prune"
+
+    def __init__(self, pruner: CandidateSetPruner) -> None:
+        self._pruner = pruner
+
+    def run(self, ctx: StageContext) -> None:
+        ctx.pruning = self._pruner.prune(frozenset(ctx.method_candidates), ctx.outcome)
+        if ctx.pruning.shortcut is not None:
+            # An exact hit or empty-answer proof means verification is moot.
+            ctx.short_circuit_stage = self.name
+
+
+class VerifyStage:
+    """``Mverifier`` over the surviving candidates (skipped on shortcuts)."""
+
+    name = "verify"
+
+    def __init__(self, method: Method, query_mode: str = "subgraph") -> None:
+        self._method = method
+        self._query_mode = query_mode
+
+    def run(self, ctx: StageContext) -> None:
+        if not ctx.pruning.final_candidates:
+            return  # short-circuited (or fully pruned): nothing left to verify
+        answers, raw_time, tests, _, _ = verify_candidates(
+            self._method,
+            ctx.query,
+            ctx.pruning.final_candidates,
+            query_mode=self._query_mode,
+        )
+        ctx.verified_answers = answers
+        ctx.verify_time_s = raw_time / max(1, self._method.verify_parallelism)
+        ctx.subiso_tests = tests
+
+
+class CommitStage:
+    """Statistics, window admission and result construction (serialized).
+
+    The commit is the only stage that *mutates* shared cache state (window,
+    stores, statistics, and — via maintenance — the GCindex), so the pipeline
+    always runs it under the GC lock; the heavy lifting lives in
+    :meth:`GraphCache._commit` next to the statistics helpers it uses.
+    """
+
+    name = "commit"
+
+    def __init__(self, cache: "GraphCache") -> None:
+        self._cache = cache
+
+    def run(self, ctx: StageContext) -> None:
+        self._cache._commit(ctx)
+
+
+class QueryPipeline:
+    """Orchestrates the five stages for one query at a time.
+
+    Parameters
+    ----------
+    mfilter, processors, prune, verify, commit:
+        The concrete stages, in dataflow order.
+    gc_lock:
+        Re-entrant lock serializing every access to shared cache state
+        (processors + prune as one critical section, and commit).  Callers
+        hammering one cache from many threads are safe; counters are
+        deterministic whenever the GC stages execute in serial order.
+    parallel_filter:
+        When ``True``, run ``MfilterStage`` on a helper thread concurrently
+        with ``ProcessorStage`` (the paper's Figure-2 parallel arrow).
+    """
+
+    def __init__(
+        self,
+        mfilter: MfilterStage,
+        processors: ProcessorStage,
+        prune: PruneStage,
+        verify: VerifyStage,
+        commit: CommitStage,
+        gc_lock: Optional[threading.RLock] = None,
+        parallel_filter: bool = False,
+    ) -> None:
+        self._mfilter = mfilter
+        self._processors = processors
+        self._prune = prune
+        self._verify = verify
+        self._commit = commit
+        self._gc_lock = gc_lock if gc_lock is not None else threading.RLock()
+        self._parallel_filter = parallel_filter
+        # Persistent helper for parallel mode, created lazily on first use so
+        # serial pipelines never spawn a thread.  A pool (not a per-query
+        # Thread) keeps thread create/join churn off the per-query hot path.
+        self._filter_pool: Optional[ThreadPoolExecutor] = None
+        self._filter_pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def stages(self) -> Tuple[PipelineStage, ...]:
+        """The stages in dataflow order."""
+        return (self._mfilter, self._processors, self._prune, self._verify, self._commit)
+
+    @property
+    def stage_names(self) -> Tuple[str, ...]:
+        """Names of the stages in dataflow order."""
+        return tuple(stage.name for stage in self.stages)
+
+    @property
+    def parallel_filter(self) -> bool:
+        """``True`` when Mfilter runs concurrently with the GC processors."""
+        return self._parallel_filter
+
+    @property
+    def gc_lock(self) -> threading.RLock:
+        """The lock serializing access to shared cache state."""
+        return self._gc_lock
+
+    def close(self) -> None:
+        """Shut down the lazy Mfilter helper pool (no-op for serial pipelines).
+
+        Abandoned pools also self-clean when the pipeline is garbage
+        collected (idle ``ThreadPoolExecutor`` workers exit once their
+        executor is collected); ``close()`` just makes teardown deterministic
+        for long-lived services.
+        """
+        with self._filter_pool_lock:
+            pool, self._filter_pool = self._filter_pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _timed(stage: PipelineStage, ctx: StageContext) -> None:
+        started = time.perf_counter()
+        stage.run(ctx)
+        elapsed = time.perf_counter() - started
+        # A stage may have recorded a larger, more truthful figure itself
+        # (prefetched Mfilter reports the worker-side filtering time).
+        ctx.stage_times[stage.name] = max(ctx.stage_times.get(stage.name, 0.0), elapsed)
+
+    def execute(self, ctx: StageContext) -> "CacheQueryResult":
+        """Run every stage for ``ctx`` and return the committed result."""
+        if self._parallel_filter and ctx.method_candidates is None:
+            self._filter_and_process_concurrently(ctx)
+        else:
+            self._timed(self._mfilter, ctx)
+            with self._gc_lock:
+                self._timed(self._processors, ctx)
+                self._timed(self._prune, ctx)
+        self._timed(self._verify, ctx)
+        # CommitStage records its own stage time: the result object is frozen
+        # inside the commit, so the measurement must happen there.
+        with self._gc_lock:
+            self._commit.run(ctx)
+        return ctx.result
+
+    def _filter_and_process_concurrently(self, ctx: StageContext) -> None:
+        """Figure 2's parallel arrow: Mfilter on a helper worker, GC inline.
+
+        The GC lock is held across the wait so that pruning sees exactly the
+        cache state the processors read, even when several threads share the
+        cache; the Mfilter worker never takes the lock, so this cannot
+        deadlock.
+        """
+        # Create-or-submit under the pool lock so a concurrent close() can
+        # never null the pool (or shut it down) between the check and the
+        # submit; enqueueing a task is non-blocking, so the lock stays cheap.
+        with self._filter_pool_lock:
+            if self._filter_pool is None:
+                self._filter_pool = ThreadPoolExecutor(
+                    max_workers=2, thread_name_prefix="gc-mfilter"
+                )
+            future = self._filter_pool.submit(self._timed, self._mfilter, ctx)
+        with self._gc_lock:
+            self._timed(self._processors, ctx)
+            future.result()  # re-raises any Mfilter exception
+            self._timed(self._prune, ctx)

@@ -22,6 +22,7 @@ with the configured matcher.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
@@ -33,6 +34,21 @@ from .query_index import QueryGraphIndex
 from .stores import CacheStore
 
 __all__ = ["ProcessorOutcome", "CacheProcessors"]
+
+# Fallback matcher for processors constructed without one (standalone use in
+# tests/tools).  A single module-level instance is shared so its plan cache is
+# not duplicated per processor pair; GraphCache itself always resolves the
+# configured matcher and passes it in explicitly.
+_fallback_matcher: Optional[SubgraphMatcher] = None
+_fallback_matcher_lock = threading.Lock()
+
+
+def _shared_fallback_matcher() -> SubgraphMatcher:
+    global _fallback_matcher
+    with _fallback_matcher_lock:
+        if _fallback_matcher is None:
+            _fallback_matcher = VF2PlusMatcher()
+        return _fallback_matcher
 
 
 @dataclass(frozen=True)
@@ -97,10 +113,11 @@ class CacheProcessors:
         memoize: bool = True,
     ) -> None:
         self._index = index
-        self._matcher = matcher or VF2PlusMatcher()
+        self._matcher = matcher if matcher is not None else _shared_fallback_matcher()
         self._memoize = memoize
         self._memo: Dict[Tuple[Graph, Graph], bool] = {}
         self._memo_hits = 0
+        self._memo_lock = threading.RLock()
 
     @property
     def index(self) -> QueryGraphIndex:
@@ -132,14 +149,16 @@ class CacheProcessors:
         if not self._memoize:
             return self._matcher.is_subgraph(pattern, target), False
         key = (pattern, target)
-        verdict = self._memo.get(key)
-        if verdict is not None:
-            self._memo_hits += 1
-            return verdict, True
+        with self._memo_lock:
+            verdict = self._memo.get(key)
+            if verdict is not None:
+                self._memo_hits += 1
+                return verdict, True
         verdict = self._matcher.is_subgraph(pattern, target)
-        if len(self._memo) >= self.MEMO_LIMIT:
-            self._memo.clear()
-        self._memo[key] = verdict
+        with self._memo_lock:
+            if len(self._memo) >= self.MEMO_LIMIT:
+                self._memo.clear()
+            self._memo[key] = verdict
         return verdict, False
 
     # ------------------------------------------------------------------ #

@@ -25,6 +25,7 @@ confirmed with an actual sub-iso test by the GC processors.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
@@ -67,6 +68,11 @@ class QueryGraphIndex:
         self._probes: Dict[int, Tuple[Tuple[Tuple[str, ...], int], ...]] = {}
         self._graphs: Dict[int, Graph] = {}
         self._feature_memo: Dict[Graph, Counter] = {}
+        # Guards index mutation (add/remove/rebuild) and compound reads so a
+        # GCindex rebuild never interleaves with candidate generation.  The
+        # query pipeline additionally serializes processor stages behind the
+        # cache-level GC lock; this lock protects direct concurrent use.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     @property
@@ -97,20 +103,22 @@ class QueryGraphIndex:
 
     def add(self, serial: int, query: Graph) -> None:
         """Index a cached query graph under its serial number."""
-        features = self.query_features(query)
-        self._trie.insert_features(features, serial)
-        self._features[serial] = features
-        self._probes[serial] = self._probe_of(features)
-        self._graphs[serial] = query
+        with self._lock:
+            features = self.query_features(query)
+            self._trie.insert_features(features, serial)
+            self._features[serial] = features
+            self._probes[serial] = self._probe_of(features)
+            self._graphs[serial] = query
 
     def remove(self, serial: int) -> None:
         """Remove a cached query from the index (no-op if absent)."""
-        if serial not in self._graphs:
-            return
-        self._trie.remove_owner(serial)
-        del self._features[serial]
-        del self._probes[serial]
-        del self._graphs[serial]
+        with self._lock:
+            if serial not in self._graphs:
+                return
+            self._trie.remove_owner(serial)
+            del self._features[serial]
+            del self._probes[serial]
+            del self._graphs[serial]
 
     def rebuild(self, entries: Iterable[Tuple[int, Graph]]) -> None:
         """Rebuild the index from scratch for a new set of cached queries.
@@ -118,12 +126,13 @@ class QueryGraphIndex:
         This mirrors the Window Manager's re-indexing step: the new index is
         built and swapped in wholesale after a cache-update round.
         """
-        self._trie = PathTrie()
-        self._features = {}
-        self._probes = {}
-        self._graphs = {}
-        for serial, query in entries:
-            self.add(serial, query)
+        with self._lock:
+            self._trie = PathTrie()
+            self._features = {}
+            self._probes = {}
+            self._graphs = {}
+            for serial, query in entries:
+                self.add(serial, query)
 
     # ------------------------------------------------------------------ #
     # Candidate generation (to be confirmed by sub-iso tests).
@@ -138,41 +147,44 @@ class QueryGraphIndex:
         features = self._feature_memo.get(query)
         if features is None:
             features = path_features(query, self._max_path_length)
-            if len(self._feature_memo) >= self.FEATURE_MEMO_LIMIT:
-                self._feature_memo.clear()
-            self._feature_memo[query] = features
+            with self._lock:
+                if len(self._feature_memo) >= self.FEATURE_MEMO_LIMIT:
+                    self._feature_memo.clear()
+                self._feature_memo[query] = features
         return features
 
     def candidate_supergraphs(
         self, query: Graph, features: Optional[Counter] = None
     ) -> FrozenSet[int]:
         """Cached queries that *may contain* ``query`` (``Resultsub`` candidates)."""
-        if not self._graphs:
-            return frozenset()
-        features = features if features is not None else self.query_features(query)
-        probe = dict(self._probe_of(features))
-        candidates = self._trie.filter(probe)
-        return frozenset(
-            serial
-            for serial in candidates
-            if could_be_subgraph(query, self._graphs[serial])
-        )
+        with self._lock:
+            if not self._graphs:
+                return frozenset()
+            features = features if features is not None else self.query_features(query)
+            probe = dict(self._probe_of(features))
+            candidates = self._trie.filter(probe)
+            return frozenset(
+                serial
+                for serial in candidates
+                if could_be_subgraph(query, self._graphs[serial])
+            )
 
     def candidate_subgraphs(
         self, query: Graph, features: Optional[Counter] = None
     ) -> FrozenSet[int]:
         """Cached queries that *may be contained in* ``query`` (``Resultsuper`` candidates)."""
-        if not self._graphs:
-            return frozenset()
-        features = features if features is not None else self.query_features(query)
-        survivors: List[int] = []
-        for serial, probe in self._probes.items():
-            cached_graph = self._graphs[serial]
-            if not could_be_subgraph(cached_graph, query):
-                continue
-            if all(features.get(feature, 0) >= count for feature, count in probe):
-                survivors.append(serial)
-        return frozenset(survivors)
+        with self._lock:
+            if not self._graphs:
+                return frozenset()
+            features = features if features is not None else self.query_features(query)
+            survivors: List[int] = []
+            for serial, probe in self._probes.items():
+                cached_graph = self._graphs[serial]
+                if not could_be_subgraph(cached_graph, query):
+                    continue
+                if all(features.get(feature, 0) >= count for feature, count in probe):
+                    survivors.append(serial)
+            return frozenset(survivors)
 
     # ------------------------------------------------------------------ #
     def approximate_size_bytes(self) -> int:

@@ -1,0 +1,121 @@
+"""GraphCacheService: a batched, concurrency-ready facade over GraphCache.
+
+The ROADMAP's north-star scenario is heavy query traffic against one shared
+cache.  :class:`GraphCacheService` serves that shape: it accepts a batch of
+independent queries and overlaps their Method-M filtering (the cache-state
+independent ``MfilterStage``) across a thread pool, while the GC stages —
+processors, pruning, verification and the serialized commit — still execute
+in submission order on the calling thread.
+
+Because ``Mfilter`` reads only the method's own dataset index, prefetching it
+concurrently cannot change what any later stage observes; the service is
+therefore *deterministically equivalent* to a serial loop of
+``GraphCache.query``: byte-identical answer sets and identical deterministic
+work counters (``subiso_tests_alleviated``, ``containment_tests``, ...) for
+any workload (property-tested in ``tests/core/test_pipeline_concurrency.py``).
+Wall-clock timings are the only thing that may differ.  The one deliberate
+exception is time-*based* admission control (``admission_control=True``),
+whose expensiveness threshold calibrates on measured wall-clock ratios and is
+thus non-deterministic even across two serial runs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import CacheError
+from ..graphs.graph import Graph
+from ..isomorphism.base import SubgraphMatcher
+from ..methods.base import Method
+from .cache import CacheQueryResult, GraphCache
+from .config import GraphCacheConfig
+
+__all__ = ["GraphCacheService"]
+
+
+class GraphCacheService:
+    """Batched query service over one (thread-safe) :class:`GraphCache`.
+
+    Parameters
+    ----------
+    cache:
+        The cache instance to serve queries through.  One service per cache;
+        several services may also share a cache — the underlying stores and
+        the pipeline's GC lock make that safe.
+    """
+
+    def __init__(self, cache: GraphCache) -> None:
+        self._cache = cache
+
+    @classmethod
+    def for_method(
+        cls,
+        method: Method,
+        config: Optional[GraphCacheConfig] = None,
+        matcher: Optional[SubgraphMatcher] = None,
+    ) -> "GraphCacheService":
+        """Build a fresh cache over ``method`` and wrap it in a service."""
+        return cls(GraphCache(method, config=config, matcher=matcher))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cache(self) -> GraphCache:
+        """The wrapped cache (exposed for inspection and statistics)."""
+        return self._cache
+
+    def query(self, query: Graph) -> CacheQueryResult:
+        """Answer a single query (plain delegation to the cache)."""
+        return self._cache.query(query)
+
+    def query_many(
+        self, queries: Iterable[Graph], jobs: int = 1
+    ) -> List[CacheQueryResult]:
+        """Answer a batch of independent queries, in order.
+
+        With ``jobs > 1``, Method M's filtering is prefetched for the whole
+        batch on a pool of ``jobs`` worker threads, overlapping with the GC
+        stages of earlier queries; processors/prune/verify/commit run in
+        submission order so results and work counters are byte-identical to
+        a serial ``GraphCache.query`` loop.
+        """
+        if jobs < 1:
+            raise CacheError(f"jobs must be >= 1, got {jobs}")
+        ordered: Sequence[Graph] = list(queries)
+        if jobs == 1 or len(ordered) <= 1:
+            return [self._cache.query(query) for query in ordered]
+
+        method = self._cache.method
+
+        def prefilter(query: Graph) -> Tuple[FrozenSet[int], float]:
+            started = time.perf_counter()
+            candidates = frozenset(method.candidates(query))
+            return candidates, time.perf_counter() - started
+
+        # Bounded look-ahead: keep ~2*jobs prefetches in flight instead of
+        # submitting the whole batch, so peak memory stays O(jobs) candidate
+        # sets rather than O(batch) while the worker pool never starves.
+        lookahead = 2 * jobs
+        results: List[CacheQueryResult] = []
+        pending: deque = deque()
+        with ThreadPoolExecutor(
+            max_workers=jobs, thread_name_prefix="gc-prefilter"
+        ) as pool:
+            for query in ordered[:lookahead]:
+                pending.append(pool.submit(prefilter, query))
+            for position, query in enumerate(ordered):
+                candidates, filter_time = pending.popleft().result()
+                if position + lookahead < len(ordered):
+                    pending.append(pool.submit(prefilter, ordered[position + lookahead]))
+                results.append(
+                    self._cache.execute_prefiltered(query, candidates, filter_time)
+                )
+        return results
+
+    def answers_many(
+        self, queries: Iterable[Graph], jobs: int = 1
+    ) -> List[FrozenSet[int]]:
+        """Convenience wrapper returning only the answer sets, in order."""
+        return [result.answer_ids for result in self.query_many(queries, jobs=jobs)]

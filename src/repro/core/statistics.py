@@ -13,6 +13,7 @@ set reduction ``R`` and estimated sub-iso cost reduction ``C``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -23,46 +24,56 @@ class TripletStore:
     """In-memory key-value store of ``{key, column, value}`` triplets.
 
     Mirrors the access interface described in §6.1: by key (a "row"), by
-    column name (a "column"), or by key and column (a single value).
+    column name (a "column"), or by key and column (a single value).  All
+    operations are thread-safe: read-modify-write accesses (``increment``)
+    and compound reads hold an internal re-entrant lock.
     """
 
     def __init__(self) -> None:
         self._rows: Dict[int, Dict[str, object]] = {}
+        self._lock = threading.RLock()
 
     def put(self, key: int, column: str, value: object) -> None:
         """Insert or overwrite a single triplet."""
-        self._rows.setdefault(key, {})[column] = value
+        with self._lock:
+            self._rows.setdefault(key, {})[column] = value
 
     def get(self, key: int, column: str, default: object = None) -> object:
         """Return the value at ``(key, column)`` or ``default``."""
-        return self._rows.get(key, {}).get(column, default)
+        with self._lock:
+            return self._rows.get(key, {}).get(column, default)
 
     def row(self, key: int) -> Dict[str, object]:
         """Return a copy of all columns stored for ``key``."""
-        return dict(self._rows.get(key, {}))
+        with self._lock:
+            return dict(self._rows.get(key, {}))
 
     def column(self, column: str) -> Dict[int, object]:
         """Return ``{key: value}`` for every key that has ``column``."""
-        return {
-            key: columns[column]
-            for key, columns in self._rows.items()
-            if column in columns
-        }
+        with self._lock:
+            return {
+                key: columns[column]
+                for key, columns in self._rows.items()
+                if column in columns
+            }
 
     def increment(self, key: int, column: str, amount: float = 1.0) -> float:
         """Add ``amount`` to a numeric column (creating it at 0) and return it."""
-        current = float(self._rows.setdefault(key, {}).get(column, 0.0))
-        updated = current + amount
-        self._rows[key][column] = updated
-        return updated
+        with self._lock:
+            current = float(self._rows.setdefault(key, {}).get(column, 0.0))
+            updated = current + amount
+            self._rows[key][column] = updated
+            return updated
 
     def delete_row(self, key: int) -> None:
         """Remove every triplet stored under ``key`` (lazily tolerated if absent)."""
-        self._rows.pop(key, None)
+        with self._lock:
+            self._rows.pop(key, None)
 
     def keys(self) -> List[int]:
         """All keys present in the store."""
-        return list(self._rows)
+        with self._lock:
+            return list(self._rows)
 
     def __contains__(self, key: int) -> bool:
         return key in self._rows

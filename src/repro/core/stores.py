@@ -11,11 +11,17 @@ Two store groups exist:
 Both stores are bounded hash tables keyed by the query's serial number, as in
 the paper.  Persistence to disk at startup/shutdown is supported through
 simple JSON snapshots so a long-running analytics session can be resumed.
+
+Both stores are thread-safe: every mutation and every compound read holds an
+internal re-entrant lock, so the concurrent query pipeline
+(:mod:`repro.core.pipeline`) and the batched service facade can share one
+store across threads.  Iteration yields a point-in-time snapshot.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple, Union
@@ -68,6 +74,7 @@ class CacheStore:
             raise CacheError("cache capacity must be positive")
         self._capacity = capacity
         self._entries: Dict[int, CacheEntry] = {}
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     @property
@@ -91,11 +98,13 @@ class CacheStore:
         return serial in self._entries
 
     def __iter__(self) -> Iterator[CacheEntry]:
-        return iter(list(self._entries.values()))
+        with self._lock:
+            return iter(list(self._entries.values()))
 
     def serials(self) -> List[int]:
         """Serial numbers of every cached query."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def get(self, serial: int) -> CacheEntry:
         """Return the entry with the given serial number."""
@@ -107,18 +116,20 @@ class CacheStore:
     # ------------------------------------------------------------------ #
     def add(self, entry: CacheEntry) -> None:
         """Add an entry; raises if the store is full (evict first)."""
-        if entry.serial in self._entries:
-            raise CacheError(f"query {entry.serial} is already cached")
-        if self.is_full:
-            raise CacheError("cache store is full; evict entries before adding")
-        self._entries[entry.serial] = entry
+        with self._lock:
+            if entry.serial in self._entries:
+                raise CacheError(f"query {entry.serial} is already cached")
+            if self.is_full:
+                raise CacheError("cache store is full; evict entries before adding")
+            self._entries[entry.serial] = entry
 
     def evict(self, serial: int) -> CacheEntry:
         """Remove and return the entry with the given serial number."""
-        try:
-            return self._entries.pop(serial)
-        except KeyError:
-            raise CacheError(f"query {serial} is not cached") from None
+        with self._lock:
+            try:
+                return self._entries.pop(serial)
+            except KeyError:
+                raise CacheError(f"query {serial} is not cached") from None
 
     def replace_contents(self, entries: List[CacheEntry]) -> None:
         """Atomically swap in a new set of entries (the index-rebuild swap)."""
@@ -129,13 +140,16 @@ class CacheStore:
         serials = {entry.serial for entry in entries}
         if len(serials) != len(entries):
             raise CacheError("duplicate serial numbers in new cache contents")
-        self._entries = {entry.serial: entry for entry in entries}
+        with self._lock:
+            self._entries = {entry.serial: entry for entry in entries}
 
     # ------------------------------------------------------------------ #
     # Persistence (startup load / shutdown save, §6.1).
     # ------------------------------------------------------------------ #
     def save(self, path: PathLike) -> None:
         """Write the store to a JSON snapshot."""
+        with self._lock:
+            entries = list(self._entries.values())
         payload = {
             "capacity": self._capacity,
             "entries": [
@@ -144,7 +158,7 @@ class CacheStore:
                     "query": graph_to_text(entry.query),
                     "answers": sorted(entry.answer_ids),
                 }
-                for entry in self._entries.values()
+                for entry in entries
             ],
         }
         Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
@@ -173,6 +187,7 @@ class WindowStore:
             raise CacheError("window capacity must be positive")
         self._capacity = capacity
         self._entries: Dict[int, WindowEntry] = {}
+        self._lock = threading.RLock()
 
     @property
     def capacity(self) -> int:
@@ -191,22 +206,26 @@ class WindowStore:
         return serial in self._entries
 
     def __iter__(self) -> Iterator[WindowEntry]:
-        return iter(list(self._entries.values()))
+        with self._lock:
+            return iter(list(self._entries.values()))
 
     def add(self, entry: WindowEntry) -> None:
         """Add a window entry; raises if the window is already full."""
-        if self.is_full:
-            raise CacheError("window store is full; drain it before adding")
-        if entry.serial in self._entries:
-            raise CacheError(f"query {entry.serial} is already in the window")
-        self._entries[entry.serial] = entry
+        with self._lock:
+            if self.is_full:
+                raise CacheError("window store is full; drain it before adding")
+            if entry.serial in self._entries:
+                raise CacheError(f"query {entry.serial} is already in the window")
+            self._entries[entry.serial] = entry
 
     def drain(self) -> List[WindowEntry]:
         """Remove and return every window entry (ordered by serial)."""
-        entries = sorted(self._entries.values(), key=lambda entry: entry.serial)
-        self._entries = {}
+        with self._lock:
+            entries = sorted(self._entries.values(), key=lambda entry: entry.serial)
+            self._entries = {}
         return entries
 
     def entries(self) -> List[WindowEntry]:
         """Current window entries (ordered by serial), without draining."""
-        return sorted(self._entries.values(), key=lambda entry: entry.serial)
+        with self._lock:
+            return sorted(self._entries.values(), key=lambda entry: entry.serial)

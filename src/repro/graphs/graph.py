@@ -20,6 +20,7 @@ for incremental construction with arbitrary vertex names.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
@@ -34,14 +35,24 @@ Edge = Tuple[int, int]
 #: graphs, so matchers can compare labels across a (pattern, target) pair with
 #: a single int comparison instead of re-hashing the label objects.
 _LABEL_INTERN: Dict[object, int] = {}
+_LABEL_INTERN_LOCK = threading.Lock()
 
 
 def intern_label(label: object) -> int:
-    """Return the process-wide integer id of ``label`` (assigning one if new)."""
+    """Return the process-wide integer id of ``label`` (assigning one if new).
+
+    Thread-safe: graphs may be constructed from concurrent pipeline workers,
+    and two threads must never assign different ids to the same label.  The
+    hot path (label already interned) stays lock-free — under the GIL a dict
+    probe is atomic, and interned entries are never removed or reassigned.
+    """
     label_id = _LABEL_INTERN.get(label)
     if label_id is None:
-        label_id = len(_LABEL_INTERN)
-        _LABEL_INTERN[label] = label_id
+        with _LABEL_INTERN_LOCK:
+            label_id = _LABEL_INTERN.get(label)
+            if label_id is None:
+                label_id = len(_LABEL_INTERN)
+                _LABEL_INTERN[label] = label_id
     return label_id
 
 

@@ -9,6 +9,7 @@ not free (datasets, FTV indexes, query pools).
 from __future__ import annotations
 
 import random
+from pathlib import Path
 
 import pytest
 
@@ -16,6 +17,18 @@ from repro.graphs.builder import GraphBuilder
 from repro.graphs.dataset import GraphDataset
 from repro.graphs.generators import aids_like, pcm_like, random_connected_graph
 from repro.graphs.graph import Graph
+
+
+def pytest_collection_modifyitems(items):
+    """Auto-apply the ``concurrency`` marker to the concurrency test modules.
+
+    The dedicated CI concurrency job selects these with ``-m concurrency``
+    without having to know file names; everything in a ``*concurrency*``
+    module gets the marker.
+    """
+    for item in items:
+        if "concurrency" in Path(str(item.fspath)).name:
+            item.add_marker(pytest.mark.concurrency)
 
 
 @pytest.fixture
