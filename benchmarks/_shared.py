@@ -10,7 +10,7 @@ experiments) only pay for them once per pytest session.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.bench.harness import ExperimentResult, run_baseline, run_experiment
 from repro.bench.scenarios import (
@@ -61,8 +61,15 @@ def experiment_cell(
     window_size: int = 10,
     admission_control: bool = False,
     alpha: float = 1.4,
+    shards: int = 1,
+    backend: str = "memory",
 ) -> ExperimentResult:
-    """Memoised experiment cell: baseline vs GraphCache for one configuration."""
+    """Memoised experiment cell: baseline vs GraphCache for one configuration.
+
+    ``shards > 1`` runs the cell over a ShardedGraphCache (serial submission
+    order, so counters stay deterministic); ``backend`` selects the storage
+    backend — both produce distinct memo keys and distinct config labels.
+    """
     method = get_method(dataset, method_name)
     workload = workload_by_label(dataset, label, alpha=alpha)
     config = bench_config(
@@ -70,6 +77,8 @@ def experiment_cell(
         cache_capacity=cache_capacity,
         window_size=window_size,
         admission_control=admission_control,
+        shards=shards,
+        backend=backend,
     )
     return run_experiment(
         name=f"{dataset}/{method_name}/{label}",

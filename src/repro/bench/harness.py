@@ -15,19 +15,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..core.cache import CacheQueryResult, GraphCache
 from ..core.config import GraphCacheConfig
 from ..core.pipeline import STAGE_NAMES
 from ..core.service import GraphCacheService
+from ..core.sharding import ShardedGraphCache, build_cache
 from ..exceptions import BenchmarkError
-from ..graphs.dataset import GraphDataset
 from ..methods.base import Method
 from ..methods.executor import QueryExecution, execute_query
 from ..workloads.base import Workload
 from .metrics import (
-    RunAggregate,
     SpeedupReport,
     aggregate_baseline,
     aggregate_cached,
@@ -48,7 +47,7 @@ class ExperimentResult:
     workload_name: str
     config_label: str
     speedups: SpeedupReport
-    cache: GraphCache
+    cache: Union[GraphCache, ShardedGraphCache]
     baseline_executions: Sequence[QueryExecution] = field(repr=False, default=())
     cached_results: Sequence[CacheQueryResult] = field(repr=False, default=())
 
@@ -139,11 +138,14 @@ def run_cached(
     """Run ``workload`` through GraphCache over ``method``.
 
     Returns ``(cache, measured_results)`` where ``measured_results`` excludes
-    the warm-up prefix (by default one window, as in the paper).  With
-    ``jobs > 1`` the queries go through the batched service facade, which
-    prefetches Method M filtering on ``jobs`` threads; answers and work
-    counters are byte-identical to the serial run — except under wall-clock
-    based admission control (``config.admission_control``), whose threshold
+    the warm-up prefix (by default one window, as in the paper).  The cache
+    is built from the configuration: ``config.shards > 1`` yields a
+    :class:`~repro.core.sharding.ShardedGraphCache`, and ``config.backend``
+    selects the storage backend.  With ``jobs > 1`` the queries go through
+    the batched service facade — Mfilter prefetch over a plain cache, full
+    per-shard pipelines over a sharded one; answers and work counters are
+    byte-identical to the serial run — except under wall-clock based
+    admission control (``config.admission_control``), whose threshold
     calibrates on measured times and is non-deterministic even serially.
     """
     config = config or GraphCacheConfig()
@@ -154,7 +156,7 @@ def run_cached(
             f"warm-up of {warmup_queries} queries consumes the whole workload "
             f"of {len(workload)} queries"
         )
-    cache = GraphCache(method, config=config)
+    cache = build_cache(method, config=config)
     if jobs > 1:
         results = GraphCacheService(cache).query_many(list(workload), jobs=jobs)
     else:

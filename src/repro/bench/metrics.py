@@ -12,8 +12,8 @@ Speedups greater than 1 mean GraphCache improves over the plain method.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from dataclasses import dataclass
+from typing import Dict, Sequence
 
 from ..methods.executor import QueryExecution
 from ..core.cache import CacheQueryResult

@@ -8,7 +8,7 @@ the terminal (and, through ``tee``, in ``bench_output.txt``).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, List, Sequence
 
 __all__ = ["format_table", "print_table", "format_series", "print_figure"]
 

@@ -17,7 +17,7 @@ admission control) scale the same way.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Tuple
 
 from ..core.config import GraphCacheConfig
 from ..graphs.dataset import GraphDataset
@@ -85,8 +85,14 @@ def bench_config(
     window_size: int = _DEFAULT_WINDOW_SIZE,
     admission_control: bool = False,
     query_mode: str = "subgraph",
+    shards: int = 1,
+    backend: str = "memory",
 ) -> GraphCacheConfig:
-    """The benchmark suite's GraphCache configuration (HD, c30-b10 by default)."""
+    """The benchmark suite's GraphCache configuration (HD, c30-b10 by default).
+
+    ``shards``/``backend`` select the storage layout for the sharded scenario
+    rows (the harness builds a ShardedGraphCache whenever ``shards > 1``).
+    """
     return GraphCacheConfig(
         cache_capacity=cache_capacity,
         window_size=window_size,
@@ -94,6 +100,8 @@ def bench_config(
         admission_control=admission_control,
         query_mode=query_mode,
         warmup_windows=1,
+        shards=shards,
+        backend=backend,
     )
 
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..bench.harness import run_baseline, run_experiment
 from ..bench.metrics import (
@@ -34,13 +34,14 @@ from ..bench.metrics import (
     speedup,
 )
 from ..bench.reporting import format_table
-from ..core.cache import GraphCache
+from ..core.backends import AVAILABLE_BACKENDS
 from ..core.config import GraphCacheConfig
 from ..core.pipeline import STAGE_NAMES
 from ..core.service import GraphCacheService
+from ..core.sharding import build_cache
 from ..core.replacement import available_policies
 from ..graphs.generators import DATASET_FACTORIES, dataset_by_name
-from ..graphs.io import load_dataset, save_dataset
+from ..graphs.io import save_dataset
 from ..isomorphism.registry import available_matchers
 from ..methods.registry import available_methods, method_by_name
 from ..workloads.io import load_workload, save_workload
@@ -137,6 +138,16 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--window-size", type=int, default=10, help="window size")
     parser.add_argument("--admission-control", action="store_true",
                         help="enable the expensiveness-based admission filter")
+    parser.add_argument("--backend", choices=list(AVAILABLE_BACKENDS), default="memory",
+                        help="storage backend of the cache/window stores "
+                             "(sqlite = write-through, larger-than-RAM)")
+    parser.add_argument("--backend-path", type=Path, default=None,
+                        help="sqlite only: database file for a durable cache "
+                             "(default: in-memory database)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="split the cache into N independent shards; "
+                             "with --jobs > 1 full GC pipelines run "
+                             "concurrently, one per shard")
     parser.add_argument("--seed", type=int, default=0, help="generation seed")
 
 
@@ -208,14 +219,27 @@ def _build_experiment(args: argparse.Namespace):
     return method, workload
 
 
-def _command_run(args: argparse.Namespace) -> int:
-    method, workload = _build_experiment(args)
-    config = GraphCacheConfig(
+def _experiment_config(
+    args: argparse.Namespace,
+    policy: Optional[str] = None,
+    execution_mode: str = "serial",
+) -> GraphCacheConfig:
+    """GraphCache configuration shared by the experiment subcommands."""
+    return GraphCacheConfig(
         cache_capacity=args.cache_size,
         window_size=args.window_size,
-        replacement_policy=args.policy,
+        replacement_policy=policy if policy is not None else args.policy,
         admission_control=args.admission_control,
+        execution_mode=execution_mode,
+        backend=args.backend,
+        backend_path=None if args.backend_path is None else str(args.backend_path),
+        shards=args.shards,
     )
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    method, workload = _build_experiment(args)
+    config = _experiment_config(args)
     result = run_experiment("cli-run", method, workload, config, jobs=args.jobs)
     print(format_table([result.summary_row()]))
     return 0
@@ -223,12 +247,8 @@ def _command_run(args: argparse.Namespace) -> int:
 
 def _command_batch(args: argparse.Namespace) -> int:
     method, workload = _build_experiment(args)
-    config = GraphCacheConfig(
-        cache_capacity=args.cache_size,
-        window_size=args.window_size,
-        replacement_policy=args.policy,
-        admission_control=args.admission_control,
-        execution_mode="parallel" if args.parallel_stages else "serial",
+    config = _experiment_config(
+        args, execution_mode="parallel" if args.parallel_stages else "serial"
     )
     service = GraphCacheService.for_method(method, config)
     results = service.query_many(list(workload), jobs=args.jobs)
@@ -239,6 +259,8 @@ def _command_batch(args: argparse.Namespace) -> int:
     row = {
         "queries": count,
         "jobs": args.jobs,
+        "shards": args.shards,
+        "backend": args.backend,
         "hit_rate": round(runtime.cache_hits / max(1, count), 3),
         "subiso_tests": runtime.subiso_tests,
         "subiso_alleviated": runtime.subiso_tests_alleviated,
@@ -257,14 +279,17 @@ def _command_policies(args: argparse.Namespace) -> int:
     baseline_aggregate = aggregate_baseline(baseline)
     rows = []
     for policy in available_policies():
-        config = GraphCacheConfig(
-            cache_capacity=args.cache_size,
-            window_size=args.window_size,
-            replacement_policy=policy,
-            admission_control=args.admission_control,
-        )
-        cache = GraphCache(method, config)
+        config = _experiment_config(args, policy=policy)
+        if config.backend_path is not None:
+            # Each policy must start cold: a shared durable database would
+            # warm-start every run after the first from its predecessor's
+            # write-through leftovers and invalidate the comparison.
+            config = config.with_backend(
+                config.backend, f"{config.backend_path}.{policy}"
+            )
+        cache = build_cache(method, config)
         results = [cache.query(query) for query in workload]
+        cache.close()
         report = speedup(baseline_aggregate, aggregate_cached(results[warmup:]))
         rows.append(
             {

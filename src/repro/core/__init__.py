@@ -2,9 +2,17 @@
 
 from .adaptive_admission import AdaptiveAdmissionController
 from .admission import AdmissionController
+from .backends import (
+    AVAILABLE_BACKENDS,
+    InMemoryBackend,
+    SQLiteBackend,
+    StorageBackend,
+    create_backend,
+)
 from .cache import CacheQueryResult, CacheRuntimeStatistics, GraphCache
 from .config import GraphCacheConfig
 from .persistence import load_cache, save_cache
+from .sharding import ShardedGraphCache, build_cache, stable_feature_hash
 from .pipeline import (
     STAGE_NAMES,
     CommitStage,
@@ -39,6 +47,14 @@ __all__ = [
     "GraphCache",
     "GraphCacheConfig",
     "GraphCacheService",
+    "ShardedGraphCache",
+    "build_cache",
+    "stable_feature_hash",
+    "AVAILABLE_BACKENDS",
+    "StorageBackend",
+    "InMemoryBackend",
+    "SQLiteBackend",
+    "create_backend",
     "CacheQueryResult",
     "CacheRuntimeStatistics",
     "QueryPipeline",

@@ -1,0 +1,84 @@
+"""Pluggable storage backends for the Cache/Window data layer (§6.1).
+
+The paper separates the Cache Manager's *logic* from its *data layer*
+precisely so the stores can grow independently of the cache algorithms.
+This package makes that separation concrete: the typed stores in
+:mod:`repro.core.stores` are thin facades over a :class:`StorageBackend`,
+a small keyed-record interface with two implementations:
+
+* :class:`InMemoryBackend` — today's in-RAM dictionaries, extracted.  Zero
+  serialization cost on the hot path; the store's contents live exactly as
+  long as the process.  This is the default and the right choice for
+  benchmark runs and any cache that fits in RAM.
+* :class:`SQLiteBackend` — a write-through backend over the standard
+  library's ``sqlite3``.  Every mutation is committed to the database
+  immediately and entries are decoded lazily on access, so the working set
+  in RAM is bounded by what the cache logic actually touches rather than by
+  the full store contents — the prerequisite for larger-than-RAM caches and
+  for warm restarts that do not re-parse a JSON snapshot (the
+  persistent-memory-engine direction of WorldDB in PAPERS.md).
+
+Backends store *entries* (opaque typed objects such as
+:class:`~repro.core.stores.CacheEntry`) keyed by the query's serial number
+and preserve insertion order when iterating — the same observable behaviour
+as a Python ``dict`` — so switching backends never changes replacement
+decisions or work counters.  Serialization is delegated to an
+:class:`EntryCodec` supplied by the owning store; in-memory backends skip it
+entirely.
+
+Choosing a backend is a :class:`~repro.core.config.GraphCacheConfig` concern
+(``backend="memory" | "sqlite"``, optional ``backend_path`` for a durable
+SQLite file); :func:`create_backend` is the single construction point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...exceptions import CacheError
+from .base import EntryCodec, StorageBackend
+from .memory import InMemoryBackend
+from .sqlite import SQLiteBackend
+
+__all__ = [
+    "AVAILABLE_BACKENDS",
+    "EntryCodec",
+    "StorageBackend",
+    "InMemoryBackend",
+    "SQLiteBackend",
+    "create_backend",
+]
+
+#: Registry names accepted by :func:`create_backend` and the configuration.
+AVAILABLE_BACKENDS = ("memory", "sqlite")
+
+
+def create_backend(
+    kind: str,
+    codec: EntryCodec,
+    path: Optional[str] = None,
+    table: str = "entries",
+) -> StorageBackend:
+    """Build a storage backend by registry name.
+
+    Parameters
+    ----------
+    kind:
+        ``"memory"`` or ``"sqlite"``.
+    codec:
+        The entry codec of the owning store (used by serializing backends).
+    path:
+        SQLite only: database file; ``None`` keeps the database in memory
+        (useful for tests and for bounded-RAM behaviour without durability).
+    table:
+        SQLite only: table name, so several stores (cache entries, window
+        entries, shards) can share one database file.
+    """
+    name = kind.lower()
+    if name == "memory":
+        return InMemoryBackend(codec)
+    if name == "sqlite":
+        return SQLiteBackend(codec, path=path, table=table)
+    raise CacheError(
+        f"unknown storage backend {kind!r}; available: {', '.join(AVAILABLE_BACKENDS)}"
+    )

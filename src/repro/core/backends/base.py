@@ -1,0 +1,99 @@
+"""The storage-backend contract shared by every data-layer implementation.
+
+A backend is a bounded-free (capacity policy stays in the store facade),
+keyed record container with ``dict``-like observable semantics:
+
+* entries are keyed by the query serial number (an ``int``),
+* iteration yields entries in **insertion order** (``replace_all`` resets
+  that order to the order of the given sequence),
+* mutations are atomic with respect to concurrent readers.
+
+Backends never interpret entries; serialization — when a backend needs it —
+goes through the :class:`EntryCodec` provided by the owning store, which maps
+an entry object to a JSON-compatible record dictionary and back.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Iterable, List, Protocol, Tuple
+
+__all__ = ["EntryCodec", "StorageBackend"]
+
+
+class EntryCodec(Protocol):
+    """Maps typed store entries to JSON-compatible record dictionaries."""
+
+    def encode(self, entry: Any) -> Dict[str, Any]:
+        """Serialize ``entry`` into a JSON-compatible dictionary."""
+        ...  # pragma: no cover
+
+    def decode(self, record: Dict[str, Any]) -> Any:
+        """Reconstruct an entry from a dictionary produced by :meth:`encode`."""
+        ...  # pragma: no cover
+
+
+class StorageBackend(ABC):
+    """Keyed entry container with dict-like, insertion-ordered semantics."""
+
+    #: Registry name of the backend (``"memory"``, ``"sqlite"``, ...).
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # Single-entry operations.
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def put(self, serial: int, entry: Any) -> None:
+        """Insert or overwrite the entry stored under ``serial``."""
+
+    @abstractmethod
+    def get(self, serial: int) -> Any:
+        """Return the entry stored under ``serial`` or ``None`` if absent."""
+
+    @abstractmethod
+    def delete(self, serial: int) -> bool:
+        """Remove the entry under ``serial``; return whether it existed."""
+
+    @abstractmethod
+    def contains(self, serial: int) -> bool:
+        """Whether an entry is stored under ``serial``."""
+
+    # ------------------------------------------------------------------ #
+    # Bulk operations.
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def serials(self) -> List[int]:
+        """All keys, in insertion order."""
+
+    @abstractmethod
+    def entries(self) -> List[Any]:
+        """All entries, in insertion order (a point-in-time snapshot)."""
+
+    @abstractmethod
+    def count(self) -> int:
+        """Number of stored entries."""
+
+    @abstractmethod
+    def replace_all(self, items: Iterable[Tuple[int, Any]]) -> None:
+        """Atomically swap the whole contents for ``items`` (sets the order)."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Remove every entry."""
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / persistence hooks.
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def dump_records(self) -> List[Dict[str, Any]]:
+        """Encoded records of every entry, in insertion order (for snapshots)."""
+
+    def close(self) -> None:
+        """Release any resources held by the backend (no-op by default)."""
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.count()
+
+    def __contains__(self, serial: int) -> bool:
+        return self.contains(serial)

@@ -1,0 +1,75 @@
+"""In-memory storage backend: the extracted dictionaries of the seed stores."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .base import EntryCodec, StorageBackend
+
+__all__ = ["InMemoryBackend"]
+
+
+class InMemoryBackend(StorageBackend):
+    """Entries live in a plain dict; no serialization on any path.
+
+    This is exactly the data structure the stores used before the backend
+    abstraction existed, so it is the zero-overhead default.  The codec is
+    only exercised by :meth:`dump_records` (snapshot writing).
+    """
+
+    name = "memory"
+
+    def __init__(self, codec: Optional[EntryCodec] = None) -> None:
+        self._codec = codec
+        self._entries: Dict[int, Any] = {}
+        # Backends may be used directly (contract tests, ad-hoc tools); the
+        # store facades add their own coarser lock on top.
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    def put(self, serial: int, entry: Any) -> None:
+        with self._lock:
+            self._entries[serial] = entry
+
+    def get(self, serial: int) -> Any:
+        with self._lock:
+            return self._entries.get(serial)
+
+    def delete(self, serial: int) -> bool:
+        with self._lock:
+            return self._entries.pop(serial, None) is not None
+
+    def contains(self, serial: int) -> bool:
+        with self._lock:
+            return serial in self._entries
+
+    # ------------------------------------------------------------------ #
+    def serials(self) -> List[int]:
+        with self._lock:
+            return list(self._entries)
+
+    def entries(self) -> List[Any]:
+        with self._lock:
+            return list(self._entries.values())
+
+    def count(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def replace_all(self, items: Iterable[Tuple[int, Any]]) -> None:
+        replacement = {serial: entry for serial, entry in items}
+        with self._lock:
+            self._entries = replacement
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries = {}
+
+    # ------------------------------------------------------------------ #
+    def dump_records(self) -> List[Dict[str, Any]]:
+        if self._codec is None:
+            raise RuntimeError("InMemoryBackend has no codec; cannot encode records")
+        with self._lock:
+            entries = list(self._entries.values())
+        return [self._codec.encode(entry) for entry in entries]

@@ -1,0 +1,164 @@
+"""Write-through SQLite storage backend (larger-than-RAM stores).
+
+Entries are encoded through the owning store's codec into JSON records and
+written to a SQLite table immediately (autocommit — the database is the
+store, not a periodic snapshot of it).  Reads decode on demand, so only the
+entries the cache logic actually touches are materialised in RAM: answer
+sets load lazily with their entry instead of living resident for the whole
+cache, which is what lets a cache grow past one process's memory.
+
+Insertion order is preserved through an explicit monotone position column
+(``INSERT OR REPLACE`` would recycle rowids), giving the backend the same
+observable iteration order as a Python ``dict`` — a requirement for
+backend-neutral replacement decisions and work counters.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .base import EntryCodec, StorageBackend
+
+__all__ = ["SQLiteBackend"]
+
+
+class SQLiteBackend(StorageBackend):
+    """Keyed record store over a SQLite table.
+
+    Parameters
+    ----------
+    codec:
+        Encodes entries to JSON-compatible dictionaries and back.
+    path:
+        Database file.  ``None`` uses a private in-memory database: no
+        durability, but the same lazy-loading behaviour and contract.
+    table:
+        Table name, so several stores (cache entries, window entries, one
+        pair per shard) can share a single database file.
+    """
+
+    name = "sqlite"
+
+    def __init__(
+        self,
+        codec: EntryCodec,
+        path: Optional[str] = None,
+        table: str = "entries",
+    ) -> None:
+        if not table.replace("_", "").isalnum():
+            raise ValueError(f"invalid table name {table!r}")
+        self._codec = codec
+        self._table = table
+        # One connection per backend; sqlite3 objects are confined behind a
+        # lock because the stores are shared across pipeline threads.
+        self._connection = sqlite3.connect(
+            path if path is not None else ":memory:",
+            check_same_thread=False,
+            isolation_level=None,  # autocommit: every mutation is written through
+        )
+        self._lock = threading.RLock()
+        with self._lock:
+            self._connection.execute(
+                f"CREATE TABLE IF NOT EXISTS {table} ("
+                " pos INTEGER PRIMARY KEY AUTOINCREMENT,"
+                " serial INTEGER NOT NULL UNIQUE,"
+                " record TEXT NOT NULL)"
+            )
+
+    # ------------------------------------------------------------------ #
+    def put(self, serial: int, entry: Any) -> None:
+        record = json.dumps(self._codec.encode(entry))
+        with self._lock:
+            updated = self._connection.execute(
+                f"UPDATE {self._table} SET record = ? WHERE serial = ?",
+                (record, serial),
+            )
+            if updated.rowcount == 0:
+                self._connection.execute(
+                    f"INSERT INTO {self._table} (serial, record) VALUES (?, ?)",
+                    (serial, record),
+                )
+
+    def get(self, serial: int) -> Any:
+        with self._lock:
+            row = self._connection.execute(
+                f"SELECT record FROM {self._table} WHERE serial = ?", (serial,)
+            ).fetchone()
+        if row is None:
+            return None
+        return self._codec.decode(json.loads(row[0]))
+
+    def delete(self, serial: int) -> bool:
+        with self._lock:
+            cursor = self._connection.execute(
+                f"DELETE FROM {self._table} WHERE serial = ?", (serial,)
+            )
+            return cursor.rowcount > 0
+
+    def contains(self, serial: int) -> bool:
+        with self._lock:
+            row = self._connection.execute(
+                f"SELECT 1 FROM {self._table} WHERE serial = ?", (serial,)
+            ).fetchone()
+        return row is not None
+
+    # ------------------------------------------------------------------ #
+    def serials(self) -> List[int]:
+        with self._lock:
+            rows = self._connection.execute(
+                f"SELECT serial FROM {self._table} ORDER BY pos"
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def entries(self) -> List[Any]:
+        with self._lock:
+            rows = self._connection.execute(
+                f"SELECT record FROM {self._table} ORDER BY pos"
+            ).fetchall()
+        return [self._codec.decode(json.loads(row[0])) for row in rows]
+
+    def count(self) -> int:
+        with self._lock:
+            row = self._connection.execute(
+                f"SELECT COUNT(*) FROM {self._table}"
+            ).fetchone()
+        return int(row[0])
+
+    def replace_all(self, items: Iterable[Tuple[int, Any]]) -> None:
+        encoded = [
+            (serial, json.dumps(self._codec.encode(entry))) for serial, entry in items
+        ]
+        with self._lock:
+            self._connection.execute("BEGIN")
+            try:
+                self._connection.execute(f"DELETE FROM {self._table}")
+                # Reset the order column so iteration follows the new sequence.
+                self._connection.execute(
+                    "DELETE FROM sqlite_sequence WHERE name = ?", (self._table,)
+                )
+                self._connection.executemany(
+                    f"INSERT INTO {self._table} (serial, record) VALUES (?, ?)",
+                    encoded,
+                )
+            except BaseException:
+                self._connection.execute("ROLLBACK")
+                raise
+            self._connection.execute("COMMIT")
+
+    def clear(self) -> None:
+        self.replace_all(())
+
+    # ------------------------------------------------------------------ #
+    def dump_records(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            rows = self._connection.execute(
+                f"SELECT record FROM {self._table} ORDER BY pos"
+            ).fetchall()
+        return [json.loads(row[0]) for row in rows]
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()

@@ -31,7 +31,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..exceptions import CacheError
 from ..graphs.graph import Graph
@@ -40,6 +40,7 @@ from ..isomorphism.cost import estimate_subiso_cost
 from ..isomorphism.registry import matcher_by_name
 from ..methods.base import Method
 from .admission import AdmissionController
+from .backends import create_backend
 from .config import GraphCacheConfig
 from .pipeline import (
     CommitStage,
@@ -54,9 +55,16 @@ from .processors import CacheProcessors, ProcessorOutcome
 from .pruner import CandidateSetPruner, PruningResult
 from .query_index import QueryGraphIndex
 from .replacement import policy_by_name
-from .statistics import StatisticsManager
-from .stores import CacheEntry, CacheStore, WindowEntry, WindowStore
-from .window import MaintenanceReport, WindowManager
+from .statistics import CachedQueryStats, StatisticsManager
+from .stores import (
+    CacheEntry,
+    CacheEntryCodec,
+    CacheStore,
+    WindowEntry,
+    WindowEntryCodec,
+    WindowStore,
+)
+from .window import WindowManager
 
 __all__ = ["GraphCache", "CacheQueryResult", "CacheRuntimeStatistics"]
 
@@ -211,8 +219,26 @@ class GraphCache:
         if self._config.query_mode == "supergraph" and not method.supports_supergraph:
             raise CacheError(f"method {method.name!r} cannot serve supergraph queries")
 
-        self._cache_store = CacheStore(self._config.cache_capacity)
-        self._window_store = WindowStore(self._config.window_size)
+        # Data layer: the stores are typed facades over the configured
+        # storage backend (two tables sharing one SQLite file, or two dicts).
+        self._cache_store = CacheStore(
+            self._config.cache_capacity,
+            backend=create_backend(
+                self._config.backend,
+                CacheEntryCodec(),
+                path=self._config.backend_path,
+                table="cache_entries",
+            ),
+        )
+        self._window_store = WindowStore(
+            self._config.window_size,
+            backend=create_backend(
+                self._config.backend,
+                WindowEntryCodec(),
+                path=self._config.backend_path,
+                table="window_entries",
+            ),
+        )
         self._statistics = StatisticsManager()
         self._index = QueryGraphIndex(max_path_length=self._config.index_path_length)
         self._containment_matcher = self._resolve_containment_matcher(matcher)
@@ -249,6 +275,48 @@ class GraphCache:
             CommitStage(self),
             gc_lock=self._gc_lock,
             parallel_filter=self._config.execution_mode == "parallel",
+        )
+        self._warm_start_from_backend()
+
+    def _warm_start_from_backend(self) -> None:
+        """Adopt entries a durable (write-through) backend already holds.
+
+        Reopening a SQLite-backed cache on an existing database warm-starts
+        it without a JSON snapshot: the GCindex is rebuilt from the stored
+        query graphs — the same code path the Window Manager uses after a
+        cache-update round — and the serial counter resumes past every stored
+        serial.  Hit/contribution statistics are *not* in the backend; they
+        restart cold and re-accumulate (use :mod:`repro.core.persistence` for
+        a full-fidelity restore including statistics).
+        """
+        entries = list(self._cache_store)
+        window_entries = self._window_store.entries()
+        if not entries and not window_entries:
+            return
+        self._index.rebuild((entry.serial, entry.query) for entry in entries)
+        for entry in entries:
+            self._statistics.register_query(
+                CachedQueryStats(
+                    serial=entry.serial,
+                    order=entry.query.order,
+                    size=entry.query.size,
+                    distinct_labels=len(entry.query.distinct_labels()),
+                )
+            )
+        for entry in window_entries:
+            self._statistics.register_query(
+                CachedQueryStats(
+                    serial=entry.serial,
+                    order=entry.query.order,
+                    size=entry.query.size,
+                    distinct_labels=len(entry.query.distinct_labels()),
+                    filter_time_s=entry.filter_time_s,
+                    verify_time_s=entry.verify_time_s,
+                )
+            )
+        self._serial = max(
+            [entry.serial for entry in entries]
+            + [entry.serial for entry in window_entries]
         )
 
     def _resolve_containment_matcher(
@@ -301,6 +369,17 @@ class GraphCache:
     def cached_serials(self) -> List[int]:
         """Serial numbers of the currently cached queries."""
         return self._cache_store.serials()
+
+    @property
+    def current_serial(self) -> int:
+        """The last serial number assigned to a query (0 on a fresh cache).
+
+        Snapshots persist this so a restored cache continues numbering where
+        the saved one stopped — window queries hold serials too, so this is
+        *not* derivable from ``queries_processed``.
+        """
+        with self._serial_lock:
+            return self._serial
 
     def cached_entry(self, serial: int) -> CacheEntry:
         """Return a cached entry by serial number."""
@@ -416,9 +495,67 @@ class GraphCache:
         """Convenience wrapper returning only the answer set."""
         return self.query(query).answer_ids
 
+    def snapshot_state(
+        self,
+    ) -> Tuple[List[CacheEntry], List[CachedQueryStats], List[WindowEntry], int]:
+        """Consistent view of the persistable state (the snapshot-save twin
+        of :meth:`restore`).
+
+        Taken under the GC lock, so a snapshot of a cache that is concurrently
+        serving queries can never be torn: no entry can be evicted between
+        listing and reading it, and no window entry can slip into the cache
+        between the two sections.  Returns ``(entries, stats, window_entries,
+        next_serial)`` with statistics covering cached and window queries.
+        """
+        with self._gc_lock:
+            entries = list(self._cache_store)
+            window_entries = self._window_store.entries()
+            stats = [
+                self._statistics.snapshot(entry.serial)
+                for entry in entries + window_entries
+            ]
+            return entries, stats, window_entries, self.current_serial
+
+    def restore(
+        self,
+        entries: Iterable[CacheEntry],
+        stats: Iterable[CachedQueryStats] = (),
+        next_serial: int = 0,
+        window_entries: Iterable[WindowEntry] = (),
+    ) -> None:
+        """Install externally persisted state (the snapshot-load entry point).
+
+        Replaces the cache contents with ``entries``, rebuilds the GCindex —
+        the same code path the Window Manager uses after an update round —
+        registers the supplied per-query ``stats`` (cached *and* in-flight
+        window queries), refills the window with ``window_entries`` and
+        resumes the serial counter at ``max(next_serial, highest restored
+        serial)`` so replayed queries never collide with restored ones.
+
+        This is the public API :func:`repro.core.persistence.load_cache`
+        builds on; callers never need to reach into the private stores.
+        """
+        entries = list(entries)
+        window_entries = sorted(window_entries, key=lambda entry: entry.serial)
+        with self._gc_lock:
+            self._cache_store.replace_contents(entries)
+            self._index.rebuild((entry.serial, entry.query) for entry in entries)
+            self._window_store.drain()  # discard any pre-existing window contents
+            for entry in window_entries:
+                self._window_store.add(entry)
+            for snapshot in stats:
+                self._statistics.register_query(snapshot)
+            restored_serials = [entry.serial for entry in entries] + [
+                entry.serial for entry in window_entries
+            ]
+            with self._serial_lock:
+                self._serial = max([next_serial] + restored_serials)
+
     def close(self) -> None:
-        """Release pipeline resources (the parallel-mode Mfilter helper pool)."""
+        """Release pipeline and data-layer resources (thread pool, backends)."""
         self._pipeline.close()
+        self._cache_store.close()
+        self._window_store.close()
 
     def results(self) -> List[CacheQueryResult]:
         """Per-query results since the cache was created."""

@@ -23,6 +23,7 @@ QueryMode = str
 _VALID_MODES = ("subgraph", "supergraph")
 _VALID_POLICIES = ("lru", "pop", "pin", "pinc", "hd")
 _VALID_EXECUTION_MODES = ("serial", "parallel")
+_VALID_BACKENDS = ("memory", "sqlite")
 
 
 @dataclass(frozen=True)
@@ -68,6 +69,20 @@ class GraphCacheConfig:
         checks in the GC processors (``None`` = the method's own verifier).
         Resolved once by :class:`~repro.core.cache.GraphCache` so every
         pipeline stage shares one matcher instance and plan cache.
+    backend:
+        Storage backend of the cache/window stores: ``"memory"`` (the seed's
+        in-RAM dictionaries, default) or ``"sqlite"`` (write-through, lazy
+        entry loading — larger-than-RAM caches).  See
+        :mod:`repro.core.backends`.
+    backend_path:
+        SQLite only: database file holding the stores (``None`` keeps the
+        database in memory).  Sharded caches derive one file per shard from
+        this path.
+    shards:
+        Number of independent :class:`~repro.core.cache.GraphCache` shards a
+        :class:`~repro.core.sharding.ShardedGraphCache` splits the cache
+        into.  ``1`` (default) means an unsharded cache; plain
+        :class:`~repro.core.cache.GraphCache` ignores this field.
     """
 
     cache_capacity: int = 100
@@ -82,6 +97,9 @@ class GraphCacheConfig:
     warmup_windows: int = 1
     execution_mode: str = "serial"
     containment_matcher: Optional[str] = None
+    backend: str = "memory"
+    backend_path: Optional[str] = None
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.cache_capacity <= 0:
@@ -110,6 +128,15 @@ class GraphCacheConfig:
                 f"unknown execution mode {self.execution_mode!r}; "
                 f"valid modes: {', '.join(_VALID_EXECUTION_MODES)}"
             )
+        if self.backend.lower() not in _VALID_BACKENDS:
+            raise CacheError(
+                f"unknown storage backend {self.backend!r}; "
+                f"valid backends: {', '.join(_VALID_BACKENDS)}"
+            )
+        if self.backend_path is not None and self.backend.lower() != "sqlite":
+            raise CacheError("backend_path is only meaningful with backend='sqlite'")
+        if self.shards < 1:
+            raise CacheError("shards must be >= 1")
 
     # ------------------------------------------------------------------ #
     def with_policy(self, policy: str) -> "GraphCacheConfig":
@@ -141,6 +168,25 @@ class GraphCacheConfig:
             admission_threshold=threshold,
         )
 
+    def with_backend(
+        self, backend: str, backend_path: Optional[str] = None
+    ) -> "GraphCacheConfig":
+        """Return a copy using a different storage backend."""
+        return replace(self, backend=backend, backend_path=backend_path)
+
+    def with_shards(self, shards: int) -> "GraphCacheConfig":
+        """Return a copy with a different shard count."""
+        return replace(self, shards=shards)
+
     def label(self) -> str:
-        """Short label like ``c100-b20`` used in the paper's figures."""
-        return f"c{self.cache_capacity}-b{self.window_size}"
+        """Short label like ``c100-b20`` used in the paper's figures.
+
+        Non-default storage choices are appended (``c100-b20-s4-sqlite``) so
+        sharded/backend experiment rows stay distinguishable in reports.
+        """
+        label = f"c{self.cache_capacity}-b{self.window_size}"
+        if self.shards > 1:
+            label += f"-s{self.shards}"
+        if self.backend.lower() != "memory":
+            label += f"-{self.backend.lower()}"
+        return label

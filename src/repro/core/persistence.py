@@ -3,15 +3,29 @@
 The paper's Cache Manager loads its stores from disk on startup and writes
 them back on shutdown (§6.1) so that a long-running analytics deployment does
 not start from a cold cache after a restart.  This module provides the same
-capability for :class:`~repro.core.cache.GraphCache`: the cached queries,
-their answer sets, their statistics and the configuration are written to a
-single JSON snapshot; loading the snapshot restores a warm cache in front of
-the same (re-built) Method M.
+capability for :class:`~repro.core.cache.GraphCache` and
+:class:`~repro.core.sharding.ShardedGraphCache`: the cached queries, their
+answer sets, their statistics, the in-flight window and the configuration are
+written to a single JSON snapshot; loading the snapshot restores a warm cache
+in front of the same (re-built) Method M.
 
-Only the *cache* contents are persisted — the current window is transient by
-design (its queries have not been admitted yet), and GCindex is rebuilt from
-the cached query graphs on load, exactly as the Window Manager rebuilds it
-after every update round.
+Snapshot format v2 (this module writes v2 and migrates v1 on read):
+
+* one **sub-snapshot per shard** — a plain cache is a one-shard snapshot —
+  each carrying its cached entries (+ per-query statistics), its current
+  window entries (+ statistics) and its serial counter;
+* ``next_serial`` is the shard's actual serial counter, *not* its
+  ``queries_processed`` count (v1 derived one from the other, which drifts
+  as soon as window queries hold serials — the v1 migration compensates by
+  taking the max with the highest persisted serial);
+* the window **is** persisted (v1 dropped it): restoring mid-window replays
+  exactly, instead of silently losing up to ``window_size - 1`` admissions.
+
+Restores go through the public :meth:`GraphCache.restore` API — persistence
+never reaches into private stores — so the entries land in whatever storage
+backend the configuration selects (in-memory or SQLite) and GCindex is
+rebuilt through the same code path the Window Manager uses after an update
+round.
 """
 
 from __future__ import annotations
@@ -19,57 +33,119 @@ from __future__ import annotations
 import json
 from dataclasses import asdict
 from pathlib import Path
-from typing import Union
+from typing import Any, Dict, Union
 
 from ..exceptions import CacheError
-from ..graphs.io import graph_from_text, graph_to_text
 from ..methods.base import Method
 from .cache import GraphCache
 from .config import GraphCacheConfig
+from .sharding import ShardedGraphCache
 from .statistics import CachedQueryStats
+from .stores import CacheEntryCodec, WindowEntryCodec
 
 __all__ = ["save_cache", "load_cache"]
 
 PathLike = Union[str, Path]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
-def save_cache(cache: GraphCache, path: PathLike) -> None:
-    """Write a warm-cache snapshot of ``cache`` to ``path`` (JSON)."""
-    entries = []
-    for serial in cache.cached_serials:
-        entry = cache.cached_entry(serial)
-        stats = cache.statistics_manager.snapshot(serial)
-        entries.append(
-            {
-                "serial": serial,
-                "query": graph_to_text(entry.query),
-                "answers": sorted(entry.answer_ids),
-                "statistics": asdict(stats),
-            }
-        )
+def _shard_payload(shard: GraphCache) -> Dict[str, Any]:
+    """Sub-snapshot of one (shard) cache: entries, window, stats, serial.
+
+    Built from :meth:`GraphCache.snapshot_state`, which reads everything
+    under the shard's GC lock — snapshotting a cache that is concurrently
+    serving queries can never observe a half-finished maintenance round.
+    """
+    entries, stats, window_entries, next_serial = shard.snapshot_state()
+    stats_by_serial = {snapshot.serial: snapshot for snapshot in stats}
+
+    def with_stats(record: Dict[str, Any]) -> Dict[str, Any]:
+        record["statistics"] = asdict(stats_by_serial[record["serial"]])
+        return record
+
+    return {
+        "next_serial": next_serial,
+        "entries": [with_stats(CacheEntryCodec.encode(e)) for e in entries],
+        "window": [with_stats(WindowEntryCodec.encode(e)) for e in window_entries],
+    }
+
+
+def save_cache(
+    cache: Union[GraphCache, ShardedGraphCache], path: PathLike
+) -> None:
+    """Write a warm-cache snapshot of ``cache`` to ``path`` (JSON, format v2)."""
+    shards = cache.shards if isinstance(cache, ShardedGraphCache) else (cache,)
     payload = {
         "format_version": _FORMAT_VERSION,
         "config": asdict(cache.config),
-        "next_serial": cache.runtime_statistics.queries_processed,
+        "shard_count": len(shards),
         "dataset_name": cache.method.dataset.name,
         "dataset_size": len(cache.method.dataset),
-        "entries": entries,
+        "shards": [_shard_payload(shard) for shard in shards],
     }
     Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
 
 
-def load_cache(path: PathLike, method: Method) -> GraphCache:
-    """Restore a warm :class:`GraphCache` over ``method`` from a snapshot.
+def _migrate_v1(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Lift a v1 snapshot (flat, single cache, no window) into the v2 shape.
 
-    The snapshot must have been taken against a dataset of the same size
-    (answer sets are stored as graph ids); a mismatch raises
-    :class:`CacheError` rather than silently returning wrong answers.
+    v1 stored ``queries_processed`` as ``next_serial``; that undercounts once
+    window queries hold serials, so the restore takes the max with the
+    highest entry serial (the same guard v1's loader applied).
+    """
+    return {
+        "format_version": _FORMAT_VERSION,
+        "config": payload["config"],
+        "shard_count": 1,
+        "dataset_name": payload.get("dataset_name"),
+        "dataset_size": payload["dataset_size"],
+        "shards": [
+            {
+                "next_serial": int(payload.get("next_serial", 0)),
+                "entries": payload["entries"],
+                "window": [],
+            }
+        ],
+    }
+
+
+def _restore_shard(shard: GraphCache, payload: Dict[str, Any]) -> None:
+    """Feed one sub-snapshot through the public ``restore`` API."""
+    entries = [CacheEntryCodec.decode(record) for record in payload["entries"]]
+    window_entries = [
+        WindowEntryCodec.decode(record) for record in payload.get("window", ())
+    ]
+    stats = [
+        CachedQueryStats(**record["statistics"])
+        for record in list(payload["entries"]) + list(payload.get("window", ()))
+        if "statistics" in record
+    ]
+    shard.restore(
+        entries,
+        stats=stats,
+        next_serial=int(payload.get("next_serial", 0)),
+        window_entries=window_entries,
+    )
+
+
+def load_cache(
+    path: PathLike, method: Method
+) -> Union[GraphCache, ShardedGraphCache]:
+    """Restore a warm cache over ``method`` from a snapshot (v1 or v2).
+
+    Returns a plain :class:`GraphCache` for single-shard snapshots and a
+    :class:`ShardedGraphCache` for multi-shard ones.  The snapshot must have
+    been taken against a dataset of the same size (answer sets are stored as
+    graph ids); a mismatch raises :class:`CacheError` rather than silently
+    returning wrong answers.
     """
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
-    if payload.get("format_version") != _FORMAT_VERSION:
-        raise CacheError(f"unsupported cache snapshot version {payload.get('format_version')!r}")
+    version = payload.get("format_version")
+    if version == 1:
+        payload = _migrate_v1(payload)
+    elif version != _FORMAT_VERSION:
+        raise CacheError(f"unsupported cache snapshot version {version!r}")
     if payload["dataset_size"] != len(method.dataset):
         raise CacheError(
             f"snapshot was taken against a dataset of {payload['dataset_size']} graphs, "
@@ -77,29 +153,24 @@ def load_cache(path: PathLike, method: Method) -> GraphCache:
         )
 
     config = GraphCacheConfig(**payload["config"])
-    cache = GraphCache(method, config)
-
-    # Restore cached entries directly into the stores, then rebuild the index
-    # once — the same code path the Window Manager uses after a normal round.
-    from .stores import CacheEntry  # local import to avoid a cycle at module load
-
-    entries = []
-    max_serial = 0
-    for record in payload["entries"]:
-        serial = int(record["serial"])
-        max_serial = max(max_serial, serial)
-        entries.append(
-            CacheEntry(
-                serial=serial,
-                query=graph_from_text(record["query"]),
-                answer_ids=frozenset(int(x) for x in record["answers"]),
-            )
+    shard_payloads = payload["shards"]
+    if payload["shard_count"] != len(shard_payloads):
+        raise CacheError(
+            f"snapshot declares {payload['shard_count']} shards but carries "
+            f"{len(shard_payloads)} sub-snapshots"
         )
-        # register_query() persists every statistics column, including the
-        # hit counters and contribution totals carried in the snapshot.
-        cache.statistics_manager.register_query(CachedQueryStats(**record["statistics"]))
 
-    cache._cache_store.replace_contents(entries)
-    cache._index.rebuild((entry.serial, entry.query) for entry in entries)
-    cache._serial = max(int(payload.get("next_serial", 0)), max_serial)
+    if payload["shard_count"] > 1:
+        if config.shards != payload["shard_count"]:
+            raise CacheError(
+                f"snapshot of {payload['shard_count']} shards does not match "
+                f"config.shards={config.shards}"
+            )
+        sharded = ShardedGraphCache(method, config)
+        for shard, shard_payload in zip(sharded.shards, shard_payloads):
+            _restore_shard(shard, shard_payload)
+        return sharded
+
+    cache = GraphCache(method, config)
+    _restore_shard(cache, shard_payloads[0])
     return cache

@@ -24,14 +24,13 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from ..graphs.graph import Graph
 from ..isomorphism.base import SubgraphMatcher
 from ..isomorphism.vf2_plus import VF2PlusMatcher
 from .query_index import QueryGraphIndex
-from .stores import CacheStore
 
 __all__ = ["ProcessorOutcome", "CacheProcessors"]
 

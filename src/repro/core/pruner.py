@@ -25,8 +25,8 @@ into the ``R`` and ``C`` utility components of the PIN / PINC / HD policies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
 
 from .processors import ProcessorOutcome
 from .stores import CacheStore

@@ -24,8 +24,7 @@ is reproduced exactly by the unit tests and by ``benchmarks/bench_table1``.
 from __future__ import annotations
 
 import abc
-import math
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence
 
 from ..exceptions import CacheError
 from .statistics import CachedQueryStats

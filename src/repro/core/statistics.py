@@ -14,8 +14,8 @@ set reduction ``R`` and estimated sub-iso cost reduction ``C``.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
 
 __all__ = ["TripletStore", "StatisticsManager", "CachedQueryStats"]
 

@@ -9,11 +9,18 @@ Two store groups exist:
   static statistics.
 
 Both stores are bounded hash tables keyed by the query's serial number, as in
-the paper.  Persistence to disk at startup/shutdown is supported through
-simple JSON snapshots so a long-running analytics session can be resumed.
+the paper.  Since the storage-abstraction refactor they are thin *typed
+facades* over a pluggable :class:`~repro.core.backends.StorageBackend`: the
+capacity policy, the typed entry classes and the error semantics live here,
+while the actual record container is either the in-RAM dictionary of the seed
+(:class:`~repro.core.backends.InMemoryBackend`, the default) or a
+write-through SQLite table (:class:`~repro.core.backends.SQLiteBackend`).
+Persistence to disk at startup/shutdown is supported through simple JSON
+snapshots so a long-running analytics session can be resumed.
 
-Both stores are thread-safe: every mutation and every compound read holds an
-internal re-entrant lock, so the concurrent query pipeline
+Both stores are thread-safe: every mutation **and every compound read** —
+including ``is_full``, ``free_slots``, ``__len__``, ``__contains__`` and
+``get`` — holds an internal re-entrant lock, so the concurrent query pipeline
 (:mod:`repro.core.pipeline`) and the batched service facade can share one
 store across threads.  Iteration yields a point-in-time snapshot.
 """
@@ -24,13 +31,21 @@ import json
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple, Union
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Union
 
 from ..exceptions import CacheError
 from ..graphs.graph import Graph
 from ..graphs.io import graph_from_text, graph_to_text
+from .backends import StorageBackend, create_backend
 
-__all__ = ["CacheEntry", "CacheStore", "WindowEntry", "WindowStore"]
+__all__ = [
+    "CacheEntry",
+    "CacheEntryCodec",
+    "CacheStore",
+    "WindowEntry",
+    "WindowEntryCodec",
+    "WindowStore",
+]
 
 PathLike = Union[str, Path]
 
@@ -66,14 +81,62 @@ class WindowEntry:
         return self.verify_time_s / self.filter_time_s
 
 
+class CacheEntryCodec:
+    """JSON codec for :class:`CacheEntry` (backend serialization + snapshots)."""
+
+    @staticmethod
+    def encode(entry: CacheEntry) -> Dict[str, Any]:
+        return {
+            "serial": entry.serial,
+            "query": graph_to_text(entry.query),
+            "answers": sorted(entry.answer_ids),
+        }
+
+    @staticmethod
+    def decode(record: Dict[str, Any]) -> CacheEntry:
+        return CacheEntry(
+            serial=int(record["serial"]),
+            query=graph_from_text(record["query"]),
+            answer_ids=frozenset(int(x) for x in record["answers"]),
+        )
+
+
+class WindowEntryCodec:
+    """JSON codec for :class:`WindowEntry`."""
+
+    @staticmethod
+    def encode(entry: WindowEntry) -> Dict[str, Any]:
+        return {
+            "serial": entry.serial,
+            "query": graph_to_text(entry.query),
+            "answers": sorted(entry.answer_ids),
+            "filter_time_s": entry.filter_time_s,
+            "verify_time_s": entry.verify_time_s,
+        }
+
+    @staticmethod
+    def decode(record: Dict[str, Any]) -> WindowEntry:
+        return WindowEntry(
+            serial=int(record["serial"]),
+            query=graph_from_text(record["query"]),
+            answer_ids=frozenset(int(x) for x in record["answers"]),
+            filter_time_s=float(record["filter_time_s"]),
+            verify_time_s=float(record["verify_time_s"]),
+        )
+
+
 class CacheStore:
     """Bounded store of cached queries and their answer sets."""
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, backend: Optional[StorageBackend] = None) -> None:
         if capacity <= 0:
             raise CacheError("cache capacity must be positive")
         self._capacity = capacity
-        self._entries: Dict[int, CacheEntry] = {}
+        # Explicit None check: an *empty* backend is falsy (it has __len__),
+        # so `backend or default` would silently discard it.
+        self._backend = (
+            backend if backend is not None else create_backend("memory", CacheEntryCodec())
+        )
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
@@ -83,53 +146,64 @@ class CacheStore:
         return self._capacity
 
     @property
+    def backend(self) -> StorageBackend:
+        """The storage backend holding the entries (exposed for inspection)."""
+        return self._backend
+
+    @property
     def is_full(self) -> bool:
         """``True`` when the store reached its configured capacity."""
-        return len(self._entries) >= self._capacity
+        with self._lock:
+            return self._backend.count() >= self._capacity
 
     def free_slots(self) -> int:
         """Number of additional entries the store can hold."""
-        return max(0, self._capacity - len(self._entries))
+        with self._lock:
+            return max(0, self._capacity - self._backend.count())
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return self._backend.count()
 
     def __contains__(self, serial: int) -> bool:
-        return serial in self._entries
+        with self._lock:
+            return self._backend.contains(serial)
 
     def __iter__(self) -> Iterator[CacheEntry]:
         with self._lock:
-            return iter(list(self._entries.values()))
+            return iter(self._backend.entries())
 
     def serials(self) -> List[int]:
         """Serial numbers of every cached query."""
         with self._lock:
-            return list(self._entries)
+            return self._backend.serials()
 
     def get(self, serial: int) -> CacheEntry:
         """Return the entry with the given serial number."""
-        try:
-            return self._entries[serial]
-        except KeyError:
-            raise CacheError(f"query {serial} is not cached") from None
+        with self._lock:
+            entry = self._backend.get(serial)
+        if entry is None:
+            raise CacheError(f"query {serial} is not cached")
+        return entry
 
     # ------------------------------------------------------------------ #
     def add(self, entry: CacheEntry) -> None:
         """Add an entry; raises if the store is full (evict first)."""
         with self._lock:
-            if entry.serial in self._entries:
+            if self._backend.contains(entry.serial):
                 raise CacheError(f"query {entry.serial} is already cached")
-            if self.is_full:
+            if self._backend.count() >= self._capacity:
                 raise CacheError("cache store is full; evict entries before adding")
-            self._entries[entry.serial] = entry
+            self._backend.put(entry.serial, entry)
 
     def evict(self, serial: int) -> CacheEntry:
         """Remove and return the entry with the given serial number."""
         with self._lock:
-            try:
-                return self._entries.pop(serial)
-            except KeyError:
-                raise CacheError(f"query {serial} is not cached") from None
+            entry = self._backend.get(serial)
+            if entry is None:
+                raise CacheError(f"query {serial} is not cached")
+            self._backend.delete(serial)
+            return entry
 
     def replace_contents(self, entries: List[CacheEntry]) -> None:
         """Atomically swap in a new set of entries (the index-rebuild swap)."""
@@ -141,7 +215,12 @@ class CacheStore:
         if len(serials) != len(entries):
             raise CacheError("duplicate serial numbers in new cache contents")
         with self._lock:
-            self._entries = {entry.serial: entry for entry in entries}
+            self._backend.replace_all((entry.serial, entry) for entry in entries)
+
+    def close(self) -> None:
+        """Release backend resources (database connections)."""
+        with self._lock:
+            self._backend.close()
 
     # ------------------------------------------------------------------ #
     # Persistence (startup load / shutdown save, §6.1).
@@ -149,44 +228,32 @@ class CacheStore:
     def save(self, path: PathLike) -> None:
         """Write the store to a JSON snapshot."""
         with self._lock:
-            entries = list(self._entries.values())
-        payload = {
-            "capacity": self._capacity,
-            "entries": [
-                {
-                    "serial": entry.serial,
-                    "query": graph_to_text(entry.query),
-                    "answers": sorted(entry.answer_ids),
-                }
-                for entry in entries
-            ],
-        }
+            records = self._backend.dump_records()
+        payload = {"capacity": self._capacity, "entries": records}
         Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
 
     @classmethod
-    def load(cls, path: PathLike) -> "CacheStore":
-        """Read a store back from a JSON snapshot."""
+    def load(
+        cls, path: PathLike, backend: Optional[StorageBackend] = None
+    ) -> "CacheStore":
+        """Read a store back from a JSON snapshot (into any backend)."""
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
-        store = cls(capacity=int(payload["capacity"]))
+        store = cls(capacity=int(payload["capacity"]), backend=backend)
         for record in payload["entries"]:
-            store.add(
-                CacheEntry(
-                    serial=int(record["serial"]),
-                    query=graph_from_text(record["query"]),
-                    answer_ids=frozenset(int(x) for x in record["answers"]),
-                )
-            )
+            store.add(CacheEntryCodec.decode(record))
         return store
 
 
 class WindowStore:
     """Bounded store of the current window's queries."""
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, backend: Optional[StorageBackend] = None) -> None:
         if capacity <= 0:
             raise CacheError("window capacity must be positive")
         self._capacity = capacity
-        self._entries: Dict[int, WindowEntry] = {}
+        self._backend = (
+            backend if backend is not None else create_backend("memory", WindowEntryCodec())
+        )
         self._lock = threading.RLock()
 
     @property
@@ -195,37 +262,50 @@ class WindowStore:
         return self._capacity
 
     @property
+    def backend(self) -> StorageBackend:
+        """The storage backend holding the entries (exposed for inspection)."""
+        return self._backend
+
+    @property
     def is_full(self) -> bool:
         """``True`` when the window reached its configured size."""
-        return len(self._entries) >= self._capacity
+        with self._lock:
+            return self._backend.count() >= self._capacity
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return self._backend.count()
 
     def __contains__(self, serial: int) -> bool:
-        return serial in self._entries
+        with self._lock:
+            return self._backend.contains(serial)
 
     def __iter__(self) -> Iterator[WindowEntry]:
         with self._lock:
-            return iter(list(self._entries.values()))
+            return iter(self._backend.entries())
 
     def add(self, entry: WindowEntry) -> None:
         """Add a window entry; raises if the window is already full."""
         with self._lock:
-            if self.is_full:
+            if self._backend.count() >= self._capacity:
                 raise CacheError("window store is full; drain it before adding")
-            if entry.serial in self._entries:
+            if self._backend.contains(entry.serial):
                 raise CacheError(f"query {entry.serial} is already in the window")
-            self._entries[entry.serial] = entry
+            self._backend.put(entry.serial, entry)
 
     def drain(self) -> List[WindowEntry]:
         """Remove and return every window entry (ordered by serial)."""
         with self._lock:
-            entries = sorted(self._entries.values(), key=lambda entry: entry.serial)
-            self._entries = {}
+            entries = sorted(self._backend.entries(), key=lambda entry: entry.serial)
+            self._backend.clear()
         return entries
 
     def entries(self) -> List[WindowEntry]:
         """Current window entries (ordered by serial), without draining."""
         with self._lock:
-            return sorted(self._entries.values(), key=lambda entry: entry.serial)
+            return sorted(self._backend.entries(), key=lambda entry: entry.serial)
+
+    def close(self) -> None:
+        """Release backend resources (database connections)."""
+        with self._lock:
+            self._backend.close()

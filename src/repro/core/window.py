@@ -21,7 +21,7 @@ time.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from .admission import AdmissionController
@@ -86,6 +86,10 @@ class WindowManager:
     def admission(self) -> AdmissionController:
         """The admission controller in use."""
         return self._admission
+
+    def window_entries(self) -> List[WindowEntry]:
+        """Current window contents (ordered by serial), without draining."""
+        return self._window_store.entries()
 
     # ------------------------------------------------------------------ #
     def add_query(self, entry: WindowEntry) -> Optional[MaintenanceReport]:

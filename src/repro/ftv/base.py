@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import abc
 import time
-from typing import Dict, Optional
+from typing import Optional
 
 from ..graphs.dataset import GraphDataset
 from ..graphs.graph import Graph

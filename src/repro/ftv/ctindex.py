@@ -16,7 +16,7 @@ size 6 and cycles up to size 8 in 4,096-bit fingerprints.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..graphs.dataset import GraphDataset
 from ..graphs.graph import Graph

@@ -13,7 +13,7 @@ it lives in its own module.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 __all__ = ["PathTrie"]
 

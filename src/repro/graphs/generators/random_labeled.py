@@ -12,7 +12,6 @@ All generators are deterministic given a :class:`random.Random` seed.
 
 from __future__ import annotations
 
-import math
 import random
 from typing import List, Optional, Sequence
 

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional
 
 from ..graphs.dataset import GraphDataset
 from ..graphs.graph import Graph

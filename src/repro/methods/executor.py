@@ -10,8 +10,8 @@ in every benchmark and as the verification engine inside GraphCache.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Tuple
 
 from ..graphs.graph import Graph
 from .base import Method, VerificationRecord

@@ -9,7 +9,6 @@ as a :class:`~repro.methods.base.Method` so GraphCache can expedite it.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..graphs.dataset import GraphDataset
 from ..graphs.graph import Graph

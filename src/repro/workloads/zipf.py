@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import bisect
 import random
-from typing import List, Sequence
+from typing import List
 
 from ..exceptions import WorkloadError
 

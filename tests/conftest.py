@@ -13,7 +13,6 @@ from pathlib import Path
 
 import pytest
 
-from repro.graphs.builder import GraphBuilder
 from repro.graphs.dataset import GraphDataset
 from repro.graphs.generators import aids_like, pcm_like, random_connected_graph
 from repro.graphs.graph import Graph

@@ -1,0 +1,259 @@
+"""Contract suite for the pluggable storage backends (and their facades).
+
+Every backend must expose dict-like observable semantics — keyed access,
+insertion-ordered iteration, atomic ``replace_all`` — so that switching the
+data layer never changes replacement decisions or work counters.  The suite
+runs identically against :class:`InMemoryBackend` and :class:`SQLiteBackend`
+(in-memory and file-based), which is the "SQLite passes the same store
+contract suite as InMemory" acceptance criterion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backends import (
+    AVAILABLE_BACKENDS,
+    InMemoryBackend,
+    SQLiteBackend,
+    create_backend,
+)
+from repro.core.stores import (
+    CacheEntry,
+    CacheEntryCodec,
+    CacheStore,
+    WindowEntry,
+    WindowEntryCodec,
+    WindowStore,
+)
+from repro.exceptions import CacheError
+from repro.graphs.graph import Graph
+
+
+def cache_entry(serial, answers=(0,)):
+    return CacheEntry(
+        serial=serial,
+        query=Graph(labels=["C", "O"], edges=[(0, 1)], graph_id=serial),
+        answer_ids=frozenset(answers),
+    )
+
+
+BACKEND_FACTORIES = {
+    "memory": lambda tmp_path: InMemoryBackend(CacheEntryCodec()),
+    "sqlite-memory": lambda tmp_path: SQLiteBackend(CacheEntryCodec()),
+    "sqlite-file": lambda tmp_path: SQLiteBackend(
+        CacheEntryCodec(), path=str(tmp_path / "store.db")
+    ),
+}
+
+
+@pytest.fixture(params=sorted(BACKEND_FACTORIES))
+def backend(request, tmp_path):
+    instance = BACKEND_FACTORIES[request.param](tmp_path)
+    yield instance
+    instance.close()
+
+
+class TestBackendContract:
+    def test_put_get_contains_delete(self, backend):
+        assert backend.get(1) is None
+        backend.put(1, cache_entry(1))
+        assert backend.contains(1)
+        assert 1 in backend
+        assert backend.get(1).serial == 1
+        assert backend.get(1).answer_ids == frozenset({0})
+        assert backend.delete(1)
+        assert not backend.delete(1)
+        assert not backend.contains(1)
+
+    def test_put_overwrites_in_place(self, backend):
+        backend.put(1, cache_entry(1, answers=(0,)))
+        backend.put(2, cache_entry(2))
+        backend.put(1, cache_entry(1, answers=(3, 4)))
+        assert backend.get(1).answer_ids == frozenset({3, 4})
+        # Overwriting keeps the original position, like a Python dict.
+        assert backend.serials() == [1, 2]
+
+    def test_insertion_order_preserved(self, backend):
+        for serial in (5, 2, 9, 1):
+            backend.put(serial, cache_entry(serial))
+        assert backend.serials() == [5, 2, 9, 1]
+        assert [entry.serial for entry in backend.entries()] == [5, 2, 9, 1]
+
+    def test_count_and_len(self, backend):
+        assert backend.count() == len(backend) == 0
+        backend.put(1, cache_entry(1))
+        backend.put(2, cache_entry(2))
+        assert backend.count() == len(backend) == 2
+
+    def test_replace_all_resets_contents_and_order(self, backend):
+        backend.put(1, cache_entry(1))
+        backend.put(2, cache_entry(2))
+        backend.replace_all((s, cache_entry(s)) for s in (7, 3))
+        assert backend.serials() == [7, 3]
+        assert not backend.contains(1)
+        # Insertions after a swap continue the order.
+        backend.put(11, cache_entry(11))
+        assert backend.serials() == [7, 3, 11]
+
+    def test_clear(self, backend):
+        backend.put(1, cache_entry(1))
+        backend.clear()
+        assert backend.count() == 0
+        assert backend.serials() == []
+
+    def test_dump_records_round_trip(self, backend):
+        for serial in (4, 2):
+            backend.put(serial, cache_entry(serial, answers=(serial, 0)))
+        records = backend.dump_records()
+        assert [record["serial"] for record in records] == [4, 2]
+        decoded = [CacheEntryCodec.decode(record) for record in records]
+        assert decoded == backend.entries()
+
+
+class TestSQLiteDurability:
+    def test_file_backend_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "durable.db")
+        backend = SQLiteBackend(CacheEntryCodec(), path=path)
+        backend.put(3, cache_entry(3, answers=(1, 2)))
+        backend.put(1, cache_entry(1))
+        backend.close()
+
+        reopened = SQLiteBackend(CacheEntryCodec(), path=path)
+        assert reopened.serials() == [3, 1]
+        assert reopened.get(3).answer_ids == frozenset({1, 2})
+        reopened.close()
+
+    def test_two_tables_share_one_file(self, tmp_path):
+        path = str(tmp_path / "shared.db")
+        cache_backend = SQLiteBackend(CacheEntryCodec(), path=path, table="cache_entries")
+        window_backend = SQLiteBackend(
+            WindowEntryCodec(), path=path, table="window_entries"
+        )
+        cache_backend.put(1, cache_entry(1))
+        window_backend.put(1, WindowEntry(1, cache_entry(1).query, frozenset({0}), 0.1, 0.2))
+        assert cache_backend.count() == 1
+        assert window_backend.count() == 1
+        assert isinstance(window_backend.get(1), WindowEntry)
+        cache_backend.close()
+        window_backend.close()
+
+    def test_invalid_table_name_rejected(self):
+        with pytest.raises(ValueError):
+            SQLiteBackend(CacheEntryCodec(), table="entries; DROP TABLE x")
+
+
+class TestFactory:
+    def test_available_backends(self):
+        assert AVAILABLE_BACKENDS == ("memory", "sqlite")
+
+    def test_create_by_name(self, tmp_path):
+        assert isinstance(create_backend("memory", CacheEntryCodec()), InMemoryBackend)
+        sqlite_backend = create_backend(
+            "sqlite", CacheEntryCodec(), path=str(tmp_path / "x.db")
+        )
+        assert isinstance(sqlite_backend, SQLiteBackend)
+        sqlite_backend.close()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(CacheError):
+            create_backend("redis", CacheEntryCodec())
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store_backend_kind(request):
+    return request.param
+
+
+class TestStoreFacadesOverBackends:
+    """CacheStore/WindowStore behave identically over every backend."""
+
+    def test_cache_store_contract(self, store_backend_kind):
+        store = CacheStore(
+            2, backend=create_backend(store_backend_kind, CacheEntryCodec())
+        )
+        store.add(cache_entry(1))
+        assert 1 in store and len(store) == 1 and not store.is_full
+        assert store.free_slots() == 1
+        store.add(cache_entry(2))
+        assert store.is_full
+        with pytest.raises(CacheError):
+            store.add(cache_entry(3))
+        with pytest.raises(CacheError):
+            store.add(cache_entry(1))
+        assert store.get(2).serial == 2
+        with pytest.raises(CacheError):
+            store.get(99)
+        assert store.evict(1).serial == 1
+        with pytest.raises(CacheError):
+            store.evict(1)
+        store.replace_contents([cache_entry(5), cache_entry(6)])
+        assert store.serials() == [5, 6]
+        store.close()
+
+    def test_window_store_contract(self, store_backend_kind):
+        store = WindowStore(
+            2, backend=create_backend(store_backend_kind, WindowEntryCodec())
+        )
+        query = Graph(labels=["C", "O"], edges=[(0, 1)])
+
+        def window_entry(serial):
+            return WindowEntry(serial, query, frozenset({0}), 0.1, 1.0)
+
+        store.add(window_entry(2))
+        store.add(window_entry(1))
+        assert store.is_full
+        with pytest.raises(CacheError):
+            store.add(window_entry(3))
+        assert [entry.serial for entry in store.entries()] == [1, 2]
+        drained = store.drain()
+        assert [entry.serial for entry in drained] == [1, 2]
+        assert len(store) == 0
+        store.close()
+
+    def test_facade_actually_uses_the_given_backend(self, store_backend_kind):
+        """Regression: an *empty* backend is falsy (it has __len__); the
+        facade must keep it anyway rather than silently defaulting."""
+        backend = create_backend(store_backend_kind, CacheEntryCodec())
+        store = CacheStore(2, backend=backend)
+        assert store.backend is backend
+        window_backend = create_backend(store_backend_kind, WindowEntryCodec())
+        window = WindowStore(2, backend=window_backend)
+        assert window.backend is window_backend
+        store.close()
+        window.close()
+
+    def test_sqlite_facade_is_durable_across_reopen(self, tmp_path):
+        """Entries added through the facade survive into a new process-like
+        reopen of the same database file (write-through, not a snapshot)."""
+        path = str(tmp_path / "facade.db")
+        store = CacheStore(
+            3, backend=SQLiteBackend(CacheEntryCodec(), path=path, table="cache_entries")
+        )
+        store.add(cache_entry(1, answers=(0, 4)))
+        store.add(cache_entry(2))
+        store.close()
+        reopened = CacheStore(
+            3, backend=SQLiteBackend(CacheEntryCodec(), path=path, table="cache_entries")
+        )
+        assert reopened.serials() == [1, 2]
+        assert reopened.get(1).answer_ids == frozenset({0, 4})
+        reopened.close()
+
+    def test_cache_store_snapshot_round_trip(self, store_backend_kind, tmp_path):
+        store = CacheStore(
+            3, backend=create_backend(store_backend_kind, CacheEntryCodec())
+        )
+        store.add(cache_entry(1, answers=(0, 2)))
+        store.add(cache_entry(2))
+        path = tmp_path / "store.json"
+        store.save(path)
+        # A snapshot taken over one backend loads into any other.
+        other_kind = "memory" if store_backend_kind == "sqlite" else "sqlite"
+        loaded = CacheStore.load(
+            path, backend=create_backend(other_kind, CacheEntryCodec())
+        )
+        assert loaded.serials() == [1, 2]
+        assert loaded.get(1).answer_ids == frozenset({0, 2})
+        store.close()
+        loaded.close()

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.cache import GraphCache
 from repro.core.config import GraphCacheConfig
-from repro.graphs.dataset import GraphDataset
 from repro.graphs.graph import Graph
 from repro.methods import SIMethod
 from repro.workloads import generate_type_a

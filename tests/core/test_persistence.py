@@ -1,15 +1,28 @@
-"""Tests for saving/loading warm GraphCache snapshots."""
+"""Tests for saving/loading warm GraphCache snapshots.
+
+Includes the snapshot round-trip property (ISSUE-3): save → load → replay of
+a workload yields identical answer sets and deterministic work counters to
+the uninterrupted run — for both storage backends, for ``shards > 1``, and
+across the v1 → v2 format migration.
+"""
 
 from __future__ import annotations
 
+import functools
+import json
+from dataclasses import asdict
+
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.core.cache import GraphCache
 from repro.core.config import GraphCacheConfig
 from repro.core.persistence import load_cache, save_cache
+from repro.core.sharding import ShardedGraphCache, build_cache
 from repro.exceptions import CacheError
 from repro.graphs.generators import aids_like
-from repro.graphs.graph import Graph
+from repro.graphs.io import graph_to_text
 from repro.methods import SIMethod
 from repro.workloads import generate_type_a
 
@@ -78,6 +91,235 @@ class TestSaveLoadRoundTrip:
         assert result.serial > max(cache.cached_serials)
 
 
+@functools.lru_cache(maxsize=4)
+def _roundtrip_dataset(seed: int):
+    return aids_like(scale=0.05, seed=seed)
+
+
+def _deterministic_fields(result):
+    """The per-query fields that must survive a snapshot round-trip.
+
+    ``containment_tests`` and ``containment_memo_hits`` are summed: the
+    containment-verdict memo is a cache-local accelerator that restarts cold
+    after a restore, so the split between real tests and memo hits may shift
+    while their total (the number of query-vs-query decisions) is invariant.
+    """
+    return (
+        result.serial,
+        result.answer_ids,
+        result.method_candidates,
+        result.final_candidates,
+        result.direct_answers,
+        result.subiso_tests,
+        result.shortcut,
+        result.sub_hits,
+        result.super_hits,
+        result.containment_tests + result.containment_memo_hits,
+    )
+
+
+def _write_v1_snapshot(cache: GraphCache, path) -> None:
+    """Produce a snapshot in the exact v1 format (flat, no window).
+
+    v1 also stored ``queries_processed`` as ``next_serial`` and knew nothing
+    of the backend/shards config fields — reproduced faithfully here so the
+    migration path is exercised end to end.
+    """
+    config = asdict(cache.config)
+    for newer_field in ("backend", "backend_path", "shards"):
+        config.pop(newer_field, None)
+    entries = []
+    for serial in cache.cached_serials:
+        entry = cache.cached_entry(serial)
+        entries.append(
+            {
+                "serial": serial,
+                "query": graph_to_text(entry.query),
+                "answers": sorted(entry.answer_ids),
+                "statistics": asdict(cache.statistics_manager.snapshot(serial)),
+            }
+        )
+    payload = {
+        "format_version": 1,
+        "config": config,
+        "next_serial": cache.runtime_statistics.queries_processed,
+        "dataset_name": cache.method.dataset.name,
+        "dataset_size": len(cache.method.dataset),
+        "entries": entries,
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+class TestRoundTripReplayProperty:
+    """save → load → replay ≡ uninterrupted run (the ISSUE-3 property)."""
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        split=st.integers(min_value=1, max_value=13),
+        backend=st.sampled_from(["memory", "sqlite"]),
+        shards=st.sampled_from([1, 3]),
+    )
+    def test_replay_matches_uninterrupted_run(
+        self, tmp_path_factory, seed, split, backend, shards
+    ):
+        dataset = _roundtrip_dataset(seed % 3)
+        workload = list(
+            generate_type_a(dataset, "ZZ", 14, query_sizes=(3, 5, 8), seed=seed)
+        )
+        config = GraphCacheConfig(
+            cache_capacity=5, window_size=3, backend=backend, shards=shards
+        )
+        path = tmp_path_factory.mktemp("snapshots") / "cache.json"
+
+        uninterrupted = build_cache(SIMethod(dataset, matcher="vf2plus"), config)
+        expected = [_deterministic_fields(uninterrupted.query(q)) for q in workload]
+
+        interrupted = build_cache(SIMethod(dataset, matcher="vf2plus"), config)
+        prefix = [_deterministic_fields(interrupted.query(q)) for q in workload[:split]]
+        save_cache(interrupted, path)
+        restored = load_cache(path, SIMethod(dataset, matcher="vf2plus"))
+        suffix = [_deterministic_fields(restored.query(q)) for q in workload[split:]]
+
+        assert prefix + suffix == expected
+        uninterrupted.close()
+        interrupted.close()
+        restored.close()
+
+    def test_v1_migration_replay_at_window_boundary(self, tmp_path):
+        """A v1 snapshot (no window persisted) replays identically when taken
+        at a window boundary — the only state v1 could capture."""
+        dataset = _roundtrip_dataset(0)
+        workload = list(
+            generate_type_a(dataset, "ZZ", 12, query_sizes=(3, 5), seed=11)
+        )
+        config = GraphCacheConfig(cache_capacity=5, window_size=3)
+        split = 6  # multiple of window_size: the window is empty here
+
+        uninterrupted = GraphCache(SIMethod(dataset, matcher="vf2plus"), config)
+        expected = [_deterministic_fields(uninterrupted.query(q)) for q in workload]
+
+        interrupted = GraphCache(SIMethod(dataset, matcher="vf2plus"), config)
+        for query in workload[:split]:
+            interrupted.query(query)
+        path = tmp_path / "v1.json"
+        _write_v1_snapshot(interrupted, path)
+
+        restored = load_cache(path, SIMethod(dataset, matcher="vf2plus"))
+        assert isinstance(restored, GraphCache)
+        suffix = [_deterministic_fields(restored.query(q)) for q in workload[split:]]
+        assert suffix == expected[split:]
+
+
+class TestSnapshotFormatV2:
+    def test_window_entries_are_persisted(self, warm_cache, tmp_path):
+        cache, method, workload = warm_cache
+        # Put the cache mid-window, then snapshot.
+        extra = workload[0]
+        cache.query(extra)
+        in_window = [e.serial for e in cache.window_manager.window_entries()]
+        assert in_window  # the fixture's workload leaves a non-empty window
+        path = tmp_path / "cache.json"
+        save_cache(cache, path)
+        restored = load_cache(path, method)
+        assert [
+            e.serial for e in restored.window_manager.window_entries()
+        ] == in_window
+
+    def test_sharded_round_trip_preserves_every_shard(self, tmp_path):
+        dataset = _roundtrip_dataset(1)
+        workload = list(
+            generate_type_a(dataset, "ZZ", 18, query_sizes=(3, 5, 8), seed=5)
+        )
+        config = GraphCacheConfig(cache_capacity=5, window_size=3, shards=3)
+        sharded = ShardedGraphCache(SIMethod(dataset, matcher="vf2plus"), config)
+        for query in workload:
+            sharded.query(query)
+        path = tmp_path / "sharded.json"
+        save_cache(sharded, path)
+
+        restored = load_cache(path, SIMethod(dataset, matcher="vf2plus"))
+        assert isinstance(restored, ShardedGraphCache)
+        assert restored.shard_count == 3
+        for original, loaded in zip(sharded.shards, restored.shards):
+            assert loaded.cached_serials == original.cached_serials
+            assert loaded.current_serial == original.current_serial
+            for serial in original.cached_serials:
+                assert (
+                    loaded.cached_entry(serial).answer_ids
+                    == original.cached_entry(serial).answer_ids
+                )
+                assert loaded.statistics_manager.snapshot(
+                    serial
+                ) == original.statistics_manager.snapshot(serial)
+
+    def test_shard_count_mismatch_rejected(self, tmp_path):
+        dataset = _roundtrip_dataset(1)
+        config = GraphCacheConfig(shards=2)
+        sharded = ShardedGraphCache(SIMethod(dataset, matcher="vf2plus"), config)
+        path = tmp_path / "sharded.json"
+        save_cache(sharded, path)
+        payload = json.loads(path.read_text())
+        payload["shards"] = payload["shards"][:1]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CacheError):
+            load_cache(path, SIMethod(dataset, matcher="vf2plus"))
+
+    def test_v1_next_serial_drift_is_corrected(self, tmp_path):
+        """A v1 ``next_serial`` lower than the highest cached serial (the
+        queries_processed drift) must not cause serial collisions."""
+        dataset = _roundtrip_dataset(2)
+        method = SIMethod(dataset, matcher="vf2plus")
+        cache = GraphCache(method, GraphCacheConfig(cache_capacity=5, window_size=2))
+        workload = list(generate_type_a(dataset, "ZZ", 8, query_sizes=(3, 5), seed=3))
+        for query in workload:
+            cache.query(query)
+        path = tmp_path / "v1.json"
+        _write_v1_snapshot(cache, path)
+        payload = json.loads(path.read_text())
+        payload["next_serial"] = 1  # simulate the drifted counter
+        path.write_text(json.dumps(payload))
+
+        restored = load_cache(path, method)
+        top_restored = max(restored.cached_serials)
+        assert restored.current_serial >= top_restored
+        result = restored.query(workload[0])
+        assert result.serial > top_restored
+
+
+class TestPublicRestoreApi:
+    def test_load_cache_does_not_touch_private_stores(self, warm_cache, tmp_path):
+        """Restores flow through GraphCache.restore(); spot-check the API."""
+        cache, method, _ = warm_cache
+        entries = [cache.cached_entry(s) for s in cache.cached_serials]
+        stats = [cache.statistics_manager.snapshot(s) for s in cache.cached_serials]
+
+        fresh = GraphCache(method, cache.config)
+        fresh.restore(entries, stats=stats, next_serial=cache.current_serial)
+        assert fresh.cached_serials == cache.cached_serials
+        assert fresh.current_serial == cache.current_serial
+        for serial in cache.cached_serials:
+            assert fresh.statistics_manager.snapshot(
+                serial
+            ) == cache.statistics_manager.snapshot(serial)
+
+    def test_restore_replaces_preexisting_window(self, tiny_dataset):
+        method = SIMethod(tiny_dataset, matcher="vf2plus")
+        cache = GraphCache(method, GraphCacheConfig(cache_capacity=5, window_size=4))
+        workload = generate_type_a(tiny_dataset, "ZZ", 3, query_sizes=(3,), seed=8)
+        for query in workload:
+            cache.query(query)
+        assert cache.window_manager.window_entries()
+        cache.restore([], next_serial=50)
+        assert cache.window_manager.window_entries() == []
+        assert cache.current_serial == 50
+        assert cache.cached_serials == []
+
+
 class TestValidation:
     def test_dataset_size_mismatch_rejected(self, warm_cache, tmp_path):
         cache, _, _ = warm_cache
@@ -91,7 +333,7 @@ class TestValidation:
         cache, method, _ = warm_cache
         path = tmp_path / "cache.json"
         save_cache(cache, path)
-        text = path.read_text().replace('"format_version": 1', '"format_version": 99')
+        text = path.read_text().replace('"format_version": 2', '"format_version": 99')
         path.write_text(text)
         with pytest.raises(CacheError):
             load_cache(path, method)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.processors import CacheProcessors
 from repro.core.query_index import QueryGraphIndex

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.processors import ProcessorOutcome
 from repro.core.pruner import CandidateSetPruner

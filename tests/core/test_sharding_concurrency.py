@@ -1,0 +1,209 @@
+"""Cross-shard concurrency: full GC pipelines really do overlap.
+
+PR 2's service could only overlap Method-M filtering — every GC stage still
+serialized on the single cache-level lock.  The sharded cache removes that
+ceiling, and this module pins it:
+
+1. **Pipeline overlap** — with ``shards=4`` and ``jobs=4``, the *commit*
+   stage (the most exclusive stage: it runs under its shard's GC lock and
+   mutates window/stores/index) is observed running on two or more shards at
+   the same instant, via a concurrency counter wrapped around each shard's
+   ``CommitStage``.
+2. **Determinism under concurrency** — ``query_many(jobs=4)`` produces
+   byte-identical per-query results and per-shard work counters to a serial
+   loop over the same sharded cache (routing is work-counter-neutral).
+3. **Race smoke** — 8 free-running threads hammering one shards=4 cache
+   never corrupt it: every answer still equals Method M's, capacity bounds
+   hold shard-wise, and no query is lost.
+
+Auto-marked ``concurrency`` (tests/conftest.py) so the dedicated CI job runs
+these with a pinned ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+
+from repro.core import GraphCacheConfig, GraphCacheService, ShardedGraphCache
+from repro.graphs.generators import aids_like
+from repro.methods import SIMethod, execute_query
+from repro.workloads import generate_type_a
+
+
+@functools.lru_cache(maxsize=2)
+def _dataset(seed: int = 2):
+    return aids_like(scale=0.05, seed=seed)
+
+
+def _workload(count, seed=17):
+    return list(
+        generate_type_a(_dataset(), "ZZ", count, query_sizes=(3, 5, 8), seed=seed)
+    )
+
+
+def _shard_counters(sharded: ShardedGraphCache):
+    return [
+        (
+            runtime.queries_processed,
+            runtime.subiso_tests,
+            runtime.subiso_tests_alleviated,
+            runtime.containment_tests,
+            runtime.containment_memo_hits,
+            runtime.cache_hits,
+            runtime.exact_hits,
+            runtime.empty_shortcuts,
+        )
+        for runtime in sharded.shard_statistics()
+    ]
+
+
+class _OverlapProbe:
+    """Counts how many instrumented sections run concurrently (peak)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._active = 0
+        self.max_active = 0
+
+    def __enter__(self) -> "_OverlapProbe":
+        with self._lock:
+            self._active += 1
+            self.max_active = max(self.max_active, self._active)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        with self._lock:
+            self._active -= 1
+
+
+def _instrument_commits(sharded: ShardedGraphCache, probe: _OverlapProbe, dwell_s: float):
+    """Wrap every shard's CommitStage with the overlap probe.
+
+    The wrapper dwells inside the instrumented section so that genuinely
+    concurrent commits are observed as such; a single-lock cache could never
+    drive ``probe.max_active`` past 1 regardless of dwell time, because its
+    commits serialize on the one GC lock.
+    """
+    for shard in sharded.shards:
+        commit_stage = shard.pipeline.stages[-1]
+        original = commit_stage.run
+
+        def run(ctx, _original=original):
+            with probe:
+                time.sleep(dwell_s)
+                _original(ctx)
+
+        commit_stage.run = run  # instance attribute shadows the class method
+
+
+class TestFullPipelineOverlap:
+    def test_commits_overlap_across_shards(self) -> None:
+        method = SIMethod(_dataset(), matcher="vf2plus")
+        sharded = ShardedGraphCache(
+            method, GraphCacheConfig(cache_capacity=6, window_size=3, shards=4)
+        )
+        workload = _workload(40)
+        assert len({sharded.shard_of(q) for q in workload}) >= 2
+
+        probe = _OverlapProbe()
+        _instrument_commits(sharded, probe, dwell_s=0.01)
+        results = GraphCacheService(sharded).query_many(workload, jobs=4)
+
+        assert len(results) == len(workload)
+        assert sharded.runtime_statistics.queries_processed == len(workload)
+        # The concurrency counter: >= 2 commits in flight at one instant
+        # means two full pipelines progressed through their GC-locked stage
+        # simultaneously — impossible on the single-lock (unsharded) cache.
+        assert probe.max_active >= 2
+
+    def test_single_cache_commits_cannot_overlap(self) -> None:
+        """Control experiment: shards=1 keeps commits strictly serial."""
+        method = SIMethod(_dataset(), matcher="vf2plus")
+        sharded = ShardedGraphCache(
+            method, GraphCacheConfig(cache_capacity=6, window_size=3, shards=1)
+        )
+        probe = _OverlapProbe()
+        _instrument_commits(sharded, probe, dwell_s=0.002)
+
+        workload = _workload(24)
+        threads = [
+            threading.Thread(
+                target=lambda chunk=workload[i::4]: [sharded.query(q) for q in chunk]
+            )
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert probe.max_active == 1
+
+
+class TestShardedDeterminism:
+    def test_query_many_matches_serial_loop(self) -> None:
+        """Concurrent shard workers are work-counter-neutral routing."""
+        workload = _workload(36)
+        config = GraphCacheConfig(cache_capacity=6, window_size=3, shards=4)
+
+        serial = ShardedGraphCache(SIMethod(_dataset(), matcher="vf2plus"), config)
+        serial_results = [serial.query(q) for q in workload]
+
+        concurrent = ShardedGraphCache(SIMethod(_dataset(), matcher="vf2plus"), config)
+        concurrent_results = GraphCacheService(concurrent).query_many(workload, jobs=4)
+
+        for mine, theirs in zip(concurrent_results, serial_results):
+            assert mine.answer_ids == theirs.answer_ids
+            assert mine.serial == theirs.serial
+            assert mine.method_candidates == theirs.method_candidates
+            assert mine.final_candidates == theirs.final_candidates
+            assert mine.subiso_tests == theirs.subiso_tests
+            assert mine.containment_tests == theirs.containment_tests
+            assert mine.shortcut == theirs.shortcut
+        assert _shard_counters(concurrent) == _shard_counters(serial)
+
+
+class TestShardedRaceSmoke:
+    THREADS = 8
+
+    def test_threads_hammer_one_sharded_cache(self) -> None:
+        """shards=4, 8 threads: correctness survives any interleaving."""
+        method = SIMethod(_dataset(), matcher="vf2plus")
+        workload = _workload(48)
+        expected = {}
+        for query in workload:
+            if query not in expected:
+                expected[query] = execute_query(method, query).answer_ids
+
+        sharded = ShardedGraphCache(
+            method, GraphCacheConfig(cache_capacity=6, window_size=3, shards=4)
+        )
+        chunks = [workload[i :: self.THREADS] for i in range(self.THREADS)]
+        barrier = threading.Barrier(self.THREADS)
+        failures: list = []
+
+        def worker(chunk) -> None:
+            try:
+                barrier.wait(timeout=30)
+                for query in chunk:
+                    result = sharded.query(query)
+                    if result.answer_ids != expected[query]:
+                        failures.append(
+                            ("wrong answers", result.serial, result.answer_ids)
+                        )
+            except Exception as exc:  # noqa: BLE001 - surfaced via `failures`
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(chunk,), name=f"shard-hammer-{i}")
+            for i, chunk in enumerate(chunks)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not any(thread.is_alive() for thread in threads)
+        assert failures == []
+        assert sharded.runtime_statistics.queries_processed == len(workload)
+        assert all(len(shard) <= 6 for shard in sharded.shards)

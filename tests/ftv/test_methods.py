@@ -9,12 +9,10 @@ parallelism, index sizes).
 
 from __future__ import annotations
 
-import random
 
 import pytest
 
 from repro.ftv import CTIndex, Grapes, GraphGrepSX
-from repro.graphs.dataset import GraphDataset
 from repro.graphs.graph import Graph
 from repro.isomorphism import VF2PlusMatcher
 from repro.methods.executor import execute_query

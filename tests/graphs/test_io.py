@@ -7,8 +7,6 @@ import io
 import pytest
 
 from repro.exceptions import GraphFormatError
-from repro.graphs.dataset import GraphDataset
-from repro.graphs.graph import Graph
 from repro.graphs.io import (
     graph_from_text,
     graph_to_text,

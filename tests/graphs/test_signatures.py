@@ -4,9 +4,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.graphs.generators import random_connected_graph
 from repro.graphs.graph import Graph

@@ -129,7 +129,6 @@ class TestPlanCacheDeterminism:
     def test_plan_cache_bounded(self):
         matcher = VF2Matcher()
         matcher.PLAN_CACHE_LIMIT = 4
-        rng = random.Random(5)
         for seed in range(10):
             r = random.Random(seed)
             target = random_connected_graph(10, 2.2, LABELS, r)

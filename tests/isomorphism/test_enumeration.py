@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.graphs.graph import Graph
 from repro.isomorphism import VF2Matcher, count_embeddings, find_all_embeddings, iter_embeddings

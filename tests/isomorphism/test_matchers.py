@@ -8,8 +8,6 @@ and must honour the non-induced semantics used throughout the paper.
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.exceptions import MatchTimeout
 from repro.graphs.graph import Graph

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.graphs.generators import random_connected_graph
 from repro.graphs.graph import Graph
