@@ -13,7 +13,6 @@ mildly with the cache size while the query time shrinks.
 from __future__ import annotations
 
 from _shared import experiment_cell
-
 from repro.bench.reporting import print_table
 
 METHODS = ("ctindex", "ggsx", "grapes6")

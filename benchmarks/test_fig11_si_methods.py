@@ -13,7 +13,6 @@ hits.
 from __future__ import annotations
 
 from _shared import experiment_cell, work_counters
-
 from repro.bench.reporting import print_figure
 
 METHODS = ("vf2plus", "graphql")

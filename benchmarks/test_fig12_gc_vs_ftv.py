@@ -15,7 +15,6 @@ the board — for a fraction of the space and with no pre-processing.
 from __future__ import annotations
 
 from _shared import experiment_cell
-
 from repro.bench.reporting import print_figure
 
 DATASETS = ("aids", "pdbs")

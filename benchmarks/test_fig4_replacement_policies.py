@@ -18,7 +18,6 @@ decisions — not on timing noise.
 from __future__ import annotations
 
 from _shared import experiment_cell, work_counters
-
 from repro.bench.reporting import print_figure
 
 POLICIES = ("lru", "pop", "pin", "pinc", "hd")

@@ -13,7 +13,6 @@ translate one-to-one into time reductions (Figure 5 vs Figure 6).
 from __future__ import annotations
 
 from _shared import WORKLOAD_LABELS, experiment_cell
-
 from repro.bench.reporting import print_figure
 
 METHODS = ("ctindex", "ggsx", "grapes1", "grapes6")

@@ -12,7 +12,6 @@ This benchmark reproduces the CT-Index and GGSX panels.
 from __future__ import annotations
 
 from _shared import experiment_cell, work_counters
-
 from repro.bench.reporting import print_figure
 
 ALPHAS = (1.1, 1.4, 1.7)

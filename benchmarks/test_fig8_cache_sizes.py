@@ -14,7 +14,6 @@ shape without the measurement noise of sub-second timings.
 from __future__ import annotations
 
 from _shared import experiment_cell, work_counters
-
 from repro.bench.reporting import print_figure
 
 CACHE_SIZES = (30, 90, 150)

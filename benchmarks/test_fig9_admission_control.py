@@ -12,7 +12,6 @@ are prioritised) even though the *sub-iso-count* speedup may drop.
 from __future__ import annotations
 
 from _shared import experiment_cell
-
 from repro.bench.reporting import print_figure
 
 MIXES = ("0%", "20%", "50%")

@@ -22,7 +22,6 @@ from __future__ import annotations
 import time
 
 from _shared import WORKLOAD_LABELS, experiment_cell, work_counters, workload_by_label
-
 from repro.bench.reporting import format_table
 from repro.bench.scenarios import bench_config, get_method
 from repro.core import GraphCacheService, ShardedGraphCache

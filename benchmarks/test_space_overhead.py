@@ -13,7 +13,6 @@ index-size cost of increasing GGSX's path length by one.
 from __future__ import annotations
 
 from _shared import experiment_cell
-
 from repro.bench.reporting import print_table
 from repro.bench.scenarios import get_dataset, get_method
 from repro.ftv import GraphGrepSX

@@ -15,8 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Sequence
 
-from ..methods.executor import QueryExecution
 from ..core.cache import CacheQueryResult
+from ..methods.executor import QueryExecution
 
 __all__ = [
     "RATIO_CAP",

@@ -37,9 +37,9 @@ from ..bench.reporting import format_table
 from ..core.backends import AVAILABLE_BACKENDS
 from ..core.config import GraphCacheConfig
 from ..core.pipeline import STAGE_NAMES
+from ..core.policies import available_admission_controllers, available_policies
 from ..core.service import GraphCacheService
 from ..core.sharding import build_cache
-from ..core.replacement import available_policies
 from ..graphs.generators import DATASET_FACTORIES, dataset_by_name
 from ..graphs.io import save_dataset
 from ..isomorphism.registry import available_matchers
@@ -138,6 +138,11 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--window-size", type=int, default=10, help="window size")
     parser.add_argument("--admission-control", action="store_true",
                         help="enable the expensiveness-based admission filter")
+    parser.add_argument("--admission", choices=available_admission_controllers(),
+                        default="threshold",
+                        help="admission controller kind: the quantile-"
+                             "calibrated threshold filter or the adaptive "
+                             "(hill-climbing) variant")
     parser.add_argument("--backend", choices=list(AVAILABLE_BACKENDS), default="memory",
                         help="storage backend of the cache/window stores "
                              "(sqlite = write-through, larger-than-RAM)")
@@ -155,10 +160,11 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
 # Subcommand implementations
 # --------------------------------------------------------------------------- #
 def _command_info(_: argparse.Namespace) -> int:
-    print("datasets :", ", ".join(sorted(DATASET_FACTORIES)))
-    print("methods  :", ", ".join(available_methods()))
-    print("matchers :", ", ".join(available_matchers()))
-    print("policies :", ", ".join(available_policies()))
+    print("datasets  :", ", ".join(sorted(DATASET_FACTORIES)))
+    print("methods   :", ", ".join(available_methods()))
+    print("matchers  :", ", ".join(available_matchers()))
+    print("policies  :", ", ".join(available_policies()))
+    print("admission :", ", ".join(available_admission_controllers()))
     return 0
 
 
@@ -230,6 +236,7 @@ def _experiment_config(
         window_size=args.window_size,
         replacement_policy=policy if policy is not None else args.policy,
         admission_control=args.admission_control,
+        admission_kind=args.admission,
         execution_mode=execution_mode,
         backend=args.backend,
         backend_path=None if args.backend_path is None else str(args.backend_path),
@@ -256,6 +263,7 @@ def _command_batch(args: argparse.Namespace) -> int:
     count = len(results)
     runtime = service.cache.runtime_statistics
     stages = aggregate_stage_times(results)
+    maintenance = service.maintenance_reports()
     row = {
         "queries": count,
         "jobs": args.jobs,
@@ -265,6 +273,12 @@ def _command_batch(args: argparse.Namespace) -> int:
         "subiso_tests": runtime.subiso_tests,
         "subiso_alleviated": runtime.subiso_tests_alleviated,
         "containment_tests": runtime.containment_tests,
+        # Maintenance-engine evidence: rounds run and the delta work they
+        # did (index add/remove + backend row ops — O(window) per round).
+        "gc_rounds": len(maintenance),
+        "gc_index_ops": sum(report.index_ops for report in maintenance),
+        "gc_row_ops": sum(report.backend_row_ops for report in maintenance),
+        "gc_evicted": sum(len(report.evicted_serials) for report in maintenance),
     }
     for stage in STAGE_NAMES:
         row[f"{stage}_ms"] = round(stages.get(stage, 0.0) * 1000.0, 3)

@@ -1,119 +1,13 @@
-"""Cache admission control: the expensiveness filter of §6.2.
+"""Compatibility shim: admission control moved to :mod:`repro.core.policies`.
 
-While experimenting with dense datasets the paper's authors observed *cache
-pollution*: the cache filled with cheap queries whose hits saved little time,
-so the expensive queries that dominate total processing time saw no benefit.
-The admission-control mechanism scores every executed query by its
-*expensiveness* — the ratio of its verification time to its filtering time —
-and only queries above a threshold may enter the cache.
-
-The threshold is calibrated from the queries of the first few windows: it is
-set so that a configured fraction of those queries classify as expensive.  A
-threshold of zero disables the mechanism (the paper's "C" configuration; the
-calibrated one is "C + AC").
+The expensiveness-threshold controller of §6.2 now lives in
+:mod:`repro.core.policies.admission` (with persistable calibration state and
+a registry next to the replacement policies).  This module re-exports the
+seed-era name so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
-
-from .stores import WindowEntry
+from .policies.admission import AdmissionController
 
 __all__ = ["AdmissionController"]
-
-
-class AdmissionController:
-    """Expensiveness-threshold admission filter.
-
-    Parameters
-    ----------
-    enabled:
-        Master switch; when ``False`` every query is admitted.
-    expensive_fraction:
-        Target fraction of calibration queries classified as expensive.
-    calibration_windows:
-        Number of initial windows whose queries are observed before the
-        threshold is fixed.
-    threshold:
-        Explicit threshold.  ``None`` = calibrate automatically; ``0.0``
-        disables admission control (every query admitted) per the paper.
-    """
-
-    def __init__(
-        self,
-        enabled: bool = False,
-        expensive_fraction: float = 0.25,
-        calibration_windows: int = 2,
-        threshold: Optional[float] = None,
-    ) -> None:
-        self._enabled = enabled
-        self._expensive_fraction = expensive_fraction
-        self._calibration_windows = calibration_windows
-        self._explicit_threshold = threshold
-        self._threshold: Optional[float] = threshold
-        self._observed_scores: List[float] = []
-        self._windows_observed = 0
-
-    # ------------------------------------------------------------------ #
-    @property
-    def enabled(self) -> bool:
-        """``True`` when the admission filter is active."""
-        return self._enabled
-
-    @property
-    def threshold(self) -> Optional[float]:
-        """Current expensiveness threshold (``None`` while calibrating)."""
-        return self._threshold
-
-    @property
-    def calibrated(self) -> bool:
-        """``True`` once the threshold has been fixed."""
-        return self._threshold is not None
-
-    # ------------------------------------------------------------------ #
-    def observe_window(self, entries: Sequence[WindowEntry]) -> None:
-        """Feed one completed window into the calibration phase.
-
-        Has no effect once the threshold is fixed or when an explicit
-        threshold was supplied.
-        """
-        if not self._enabled or self._explicit_threshold is not None:
-            return
-        if self.calibrated:
-            return
-        self._observed_scores.extend(
-            entry.expensiveness
-            for entry in entries
-            if entry.expensiveness != float("inf")
-        )
-        self._windows_observed += 1
-        if self._windows_observed >= self._calibration_windows:
-            self._threshold = self._quantile_threshold()
-
-    def _quantile_threshold(self) -> float:
-        """Threshold classifying ``expensive_fraction`` of observed queries as expensive."""
-        if not self._observed_scores:
-            return 0.0
-        ordered = sorted(self._observed_scores)
-        # The top ``expensive_fraction`` of scores should pass the filter.
-        cut = int(round((1.0 - self._expensive_fraction) * (len(ordered) - 1)))
-        cut = min(max(cut, 0), len(ordered) - 1)
-        return ordered[cut]
-
-    # ------------------------------------------------------------------ #
-    def admit(self, entry: WindowEntry) -> bool:
-        """Return ``True`` if ``entry`` may be considered for caching."""
-        if not self._enabled:
-            return True
-        if self._threshold is None:
-            # Still calibrating: admit everything, as the paper does for the
-            # first few windows.
-            return True
-        if self._threshold <= 0.0:
-            # A threshold of 0 disables the component (paper, §6.2).
-            return True
-        return entry.expensiveness >= self._threshold
-
-    def filter_admitted(self, entries: Sequence[WindowEntry]) -> List[WindowEntry]:
-        """Return the entries that pass the admission filter, preserving order."""
-        return [entry for entry in entries if self.admit(entry)]

@@ -36,12 +36,13 @@ from __future__ import annotations
 from typing import Optional
 
 from ...exceptions import CacheError
-from .base import EntryCodec, StorageBackend
+from .base import BackendOpCounts, EntryCodec, StorageBackend
 from .memory import InMemoryBackend
 from .sqlite import SQLiteBackend
 
 __all__ = [
     "AVAILABLE_BACKENDS",
+    "BackendOpCounts",
     "EntryCodec",
     "StorageBackend",
     "InMemoryBackend",

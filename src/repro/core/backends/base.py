@@ -5,20 +5,47 @@ keyed record container with ``dict``-like observable semantics:
 
 * entries are keyed by the query serial number (an ``int``),
 * iteration yields entries in **insertion order** (``replace_all`` resets
-  that order to the order of the given sequence),
+  that order to the order of the given sequence; ``apply_delta`` preserves
+  the survivors' order and appends the additions),
 * mutations are atomic with respect to concurrent readers.
 
 Backends never interpret entries; serialization — when a backend needs it —
 goes through the :class:`EntryCodec` provided by the owning store, which maps
 an entry object to a JSON-compatible record dictionary and back.
+
+Every backend counts its row mutations in :attr:`StorageBackend.op_counts`
+(:class:`BackendOpCounts`).  The counters are deterministic functions of the
+workload, which is what lets the maintenance benchmark assert — by counting,
+not timing — that a cache-update round performs O(window) row operations
+instead of rewriting the whole store.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Protocol, Tuple
 
-__all__ = ["EntryCodec", "StorageBackend"]
+__all__ = ["BackendOpCounts", "EntryCodec", "StorageBackend"]
+
+
+@dataclass
+class BackendOpCounts:
+    """Row-mutation counters of one storage backend.
+
+    ``bulk_rewrites`` counts whole-store swaps (``replace_all``/``clear``);
+    their per-row cost still lands in ``rows_inserted``/``rows_deleted``, so
+    ``row_ops`` is the total number of row mutations however they happened.
+    """
+
+    rows_inserted: int = 0
+    rows_deleted: int = 0
+    bulk_rewrites: int = 0
+
+    @property
+    def row_ops(self) -> int:
+        """Total row mutations (inserts + deletes)."""
+        return self.rows_inserted + self.rows_deleted
 
 
 class EntryCodec(Protocol):
@@ -38,6 +65,10 @@ class StorageBackend(ABC):
 
     #: Registry name of the backend (``"memory"``, ``"sqlite"``, ...).
     name: str = "abstract"
+
+    def __init__(self) -> None:
+        #: Deterministic row-mutation counters (see :class:`BackendOpCounts`).
+        self.op_counts = BackendOpCounts()
 
     # ------------------------------------------------------------------ #
     # Single-entry operations.
@@ -80,6 +111,24 @@ class StorageBackend(ABC):
     @abstractmethod
     def clear(self) -> None:
         """Remove every entry."""
+
+    def apply_delta(
+        self, add: Iterable[Tuple[int, Any]], remove: Iterable[int]
+    ) -> None:
+        """Row-level delta: delete ``remove``, then append ``add``.
+
+        The maintenance engine's apply step — O(len(add) + len(remove))
+        row mutations where ``replace_all`` costs O(store).  Survivors keep
+        their iteration position; additions append in the given order (the
+        same observable result a ``replace_all`` with survivors + additions
+        would produce).  The default implementation composes the primitive
+        ``delete``/``put`` ops; backends with cheaper bulk paths (one SQLite
+        transaction) override it.
+        """
+        for serial in remove:
+            self.delete(serial)
+        for serial, entry in add:
+            self.put(serial, entry)
 
     # ------------------------------------------------------------------ #
     # Lifecycle / persistence hooks.

@@ -21,6 +21,7 @@ class InMemoryBackend(StorageBackend):
     name = "memory"
 
     def __init__(self, codec: Optional[EntryCodec] = None) -> None:
+        super().__init__()
         self._codec = codec
         self._entries: Dict[int, Any] = {}
         # Backends may be used directly (contract tests, ad-hoc tools); the
@@ -31,6 +32,7 @@ class InMemoryBackend(StorageBackend):
     def put(self, serial: int, entry: Any) -> None:
         with self._lock:
             self._entries[serial] = entry
+            self.op_counts.rows_inserted += 1
 
     def get(self, serial: int) -> Any:
         with self._lock:
@@ -38,7 +40,10 @@ class InMemoryBackend(StorageBackend):
 
     def delete(self, serial: int) -> bool:
         with self._lock:
-            return self._entries.pop(serial, None) is not None
+            existed = self._entries.pop(serial, None) is not None
+            if existed:
+                self.op_counts.rows_deleted += 1
+            return existed
 
     def contains(self, serial: int) -> bool:
         with self._lock:
@@ -60,11 +65,32 @@ class InMemoryBackend(StorageBackend):
     def replace_all(self, items: Iterable[Tuple[int, Any]]) -> None:
         replacement = {serial: entry for serial, entry in items}
         with self._lock:
+            self.op_counts.bulk_rewrites += 1
+            self.op_counts.rows_deleted += len(self._entries)
+            self.op_counts.rows_inserted += len(replacement)
             self._entries = replacement
 
     def clear(self) -> None:
         with self._lock:
+            self.op_counts.bulk_rewrites += 1
+            self.op_counts.rows_deleted += len(self._entries)
             self._entries = {}
+
+    def apply_delta(
+        self, add: Iterable[Tuple[int, Any]], remove: Iterable[int]
+    ) -> None:
+        # Override the base composition to hold the lock across the whole
+        # delta: a concurrent reader never observes the evictions without
+        # the admissions (the same atomicity replace_all and the SQLite
+        # transaction give).
+        additions = list(add)
+        with self._lock:
+            for serial in remove:
+                if self._entries.pop(serial, None) is not None:
+                    self.op_counts.rows_deleted += 1
+            for serial, entry in additions:
+                self._entries[serial] = entry
+                self.op_counts.rows_inserted += 1
 
     # ------------------------------------------------------------------ #
     def dump_records(self) -> List[Dict[str, Any]]:

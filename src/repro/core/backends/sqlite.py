@@ -50,6 +50,7 @@ class SQLiteBackend(StorageBackend):
     ) -> None:
         if not table.replace("_", "").isalnum():
             raise ValueError(f"invalid table name {table!r}")
+        super().__init__()
         self._codec = codec
         self._table = table
         # One connection per backend; sqlite3 objects are confined behind a
@@ -81,6 +82,7 @@ class SQLiteBackend(StorageBackend):
                     f"INSERT INTO {self._table} (serial, record) VALUES (?, ?)",
                     (serial, record),
                 )
+            self.op_counts.rows_inserted += 1
 
     def get(self, serial: int) -> Any:
         with self._lock:
@@ -96,7 +98,10 @@ class SQLiteBackend(StorageBackend):
             cursor = self._connection.execute(
                 f"DELETE FROM {self._table} WHERE serial = ?", (serial,)
             )
-            return cursor.rowcount > 0
+            existed = cursor.rowcount > 0
+            if existed:
+                self.op_counts.rows_deleted += 1
+            return existed
 
     def contains(self, serial: int) -> bool:
         with self._lock:
@@ -132,6 +137,7 @@ class SQLiteBackend(StorageBackend):
             (serial, json.dumps(self._codec.encode(entry))) for serial, entry in items
         ]
         with self._lock:
+            old_count = self.count()
             self._connection.execute("BEGIN")
             try:
                 self._connection.execute(f"DELETE FROM {self._table}")
@@ -147,9 +153,43 @@ class SQLiteBackend(StorageBackend):
                 self._connection.execute("ROLLBACK")
                 raise
             self._connection.execute("COMMIT")
+            self.op_counts.bulk_rewrites += 1
+            self.op_counts.rows_deleted += old_count
+            self.op_counts.rows_inserted += len(encoded)
 
     def clear(self) -> None:
         self.replace_all(())
+
+    def apply_delta(
+        self, add: Iterable[Tuple[int, Any]], remove: Iterable[int]
+    ) -> None:
+        """Row-level DELETE/INSERT in one transaction (no full rewrite).
+
+        Surviving rows keep their ``pos`` (iteration position); inserted
+        rows take fresh autoincrement positions at the end — the same
+        observable order a full ``replace_all`` would have produced, at
+        O(delta) row cost instead of O(store).
+        """
+        removals = [(serial,) for serial in remove]
+        encoded = [
+            (serial, json.dumps(self._codec.encode(entry))) for serial, entry in add
+        ]
+        with self._lock:
+            self._connection.execute("BEGIN")
+            try:
+                self._connection.executemany(
+                    f"DELETE FROM {self._table} WHERE serial = ?", removals
+                )
+                self._connection.executemany(
+                    f"INSERT INTO {self._table} (serial, record) VALUES (?, ?)",
+                    encoded,
+                )
+            except BaseException:
+                self._connection.execute("ROLLBACK")
+                raise
+            self._connection.execute("COMMIT")
+            self.op_counts.rows_deleted += len(removals)
+            self.op_counts.rows_inserted += len(encoded)
 
     # ------------------------------------------------------------------ #
     def dump_records(self) -> List[Dict[str, Any]]:

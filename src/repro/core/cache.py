@@ -39,7 +39,6 @@ from ..isomorphism.base import SubgraphMatcher
 from ..isomorphism.cost import estimate_subiso_cost
 from ..isomorphism.registry import matcher_by_name
 from ..methods.base import Method
-from .admission import AdmissionController
 from .backends import create_backend
 from .config import GraphCacheConfig
 from .pipeline import (
@@ -51,10 +50,15 @@ from .pipeline import (
     StageContext,
     VerifyStage,
 )
+from .policies import (
+    MaintenanceEngine,
+    WindowManager,
+    admission_by_name,
+    policy_by_name,
+)
 from .processors import CacheProcessors, ProcessorOutcome
 from .pruner import CandidateSetPruner, PruningResult
 from .query_index import QueryGraphIndex
-from .replacement import policy_by_name
 from .statistics import CachedQueryStats, StatisticsManager
 from .stores import (
     CacheEntry,
@@ -64,7 +68,6 @@ from .stores import (
     WindowEntryCodec,
     WindowStore,
 )
-from .window import WindowManager
 
 __all__ = ["GraphCache", "CacheQueryResult", "CacheRuntimeStatistics"]
 
@@ -248,19 +251,27 @@ class GraphCache:
         self._pruner = CandidateSetPruner(
             self._cache_store, query_mode=self._config.query_mode
         )
-        self._admission = AdmissionController(
-            enabled=self._config.admission_control,
-            expensive_fraction=self._config.admission_expensive_fraction,
-            calibration_windows=self._config.admission_calibration_windows,
-            threshold=self._config.admission_threshold,
+        # The maintenance subsystem: policy and admission controller come
+        # from the repro.core.policies registries; the engine owns the
+        # decide/apply rounds and the incremental utility heap.
+        self._engine = MaintenanceEngine(
+            cache_store=self._cache_store,
+            statistics=self._statistics,
+            index=self._index,
+            policy=policy_by_name(self._config.replacement_policy),
+            admission=admission_by_name(
+                self._config.admission_kind,
+                enabled=self._config.admission_control,
+                expensive_fraction=self._config.admission_expensive_fraction,
+                calibration_windows=self._config.admission_calibration_windows,
+                threshold=self._config.admission_threshold,
+            ),
         )
         self._window_manager = WindowManager(
             cache_store=self._cache_store,
             window_store=self._window_store,
             statistics=self._statistics,
-            index=self._index,
-            policy=policy_by_name(self._config.replacement_policy),
-            admission=self._admission,
+            engine=self._engine,
         )
         self._serial = 0
         self._runtime = CacheRuntimeStatistics()
@@ -318,6 +329,7 @@ class GraphCache:
             [entry.serial for entry in entries]
             + [entry.serial for entry in window_entries]
         )
+        self._engine.rebuild_scores()
 
     def _resolve_containment_matcher(
         self, matcher: Optional[SubgraphMatcher]
@@ -349,6 +361,11 @@ class GraphCache:
     def window_manager(self) -> WindowManager:
         """The Window Manager (exposed for inspection and tests)."""
         return self._window_manager
+
+    @property
+    def maintenance_engine(self) -> MaintenanceEngine:
+        """The maintenance engine (decide/apply rounds, utility heap)."""
+        return self._engine
 
     @property
     def runtime_statistics(self) -> CacheRuntimeStatistics:
@@ -497,7 +514,13 @@ class GraphCache:
 
     def snapshot_state(
         self,
-    ) -> Tuple[List[CacheEntry], List[CachedQueryStats], List[WindowEntry], int]:
+    ) -> Tuple[
+        List[CacheEntry],
+        List[CachedQueryStats],
+        List[WindowEntry],
+        int,
+        Dict[str, object],
+    ]:
         """Consistent view of the persistable state (the snapshot-save twin
         of :meth:`restore`).
 
@@ -505,7 +528,10 @@ class GraphCache:
         serving queries can never be torn: no entry can be evicted between
         listing and reading it, and no window entry can slip into the cache
         between the two sections.  Returns ``(entries, stats, window_entries,
-        next_serial)`` with statistics covering cached and window queries.
+        next_serial, maintenance)`` with statistics covering cached and
+        window queries; ``maintenance`` is the engine's state record
+        (admission calibration, adaptive-threshold history — snapshot format
+        v3 carries it so a cache interrupted mid-calibration resumes exactly).
         """
         with self._gc_lock:
             entries = list(self._cache_store)
@@ -514,7 +540,13 @@ class GraphCache:
                 self._statistics.snapshot(entry.serial)
                 for entry in entries + window_entries
             ]
-            return entries, stats, window_entries, self.current_serial
+            return (
+                entries,
+                stats,
+                window_entries,
+                self.current_serial,
+                self._engine.state_record(),
+            )
 
     def restore(
         self,
@@ -522,13 +554,17 @@ class GraphCache:
         stats: Iterable[CachedQueryStats] = (),
         next_serial: int = 0,
         window_entries: Iterable[WindowEntry] = (),
+        maintenance: Optional[Dict[str, object]] = None,
     ) -> None:
         """Install externally persisted state (the snapshot-load entry point).
 
         Replaces the cache contents with ``entries``, rebuilds the GCindex —
-        the same code path the Window Manager uses after an update round —
-        registers the supplied per-query ``stats`` (cached *and* in-flight
-        window queries), refills the window with ``window_entries`` and
+        the restore twin of the engine's delta path — registers the supplied
+        per-query ``stats`` (cached *and* in-flight window queries), refills
+        the window with ``window_entries``, re-seeds the engine's utility
+        heap from the restored statistics, adopts the persisted
+        ``maintenance`` state (admission calibration / adaptive-threshold
+        history; ``None`` restarts those cold, as pre-v3 snapshots must) and
         resumes the serial counter at ``max(next_serial, highest restored
         serial)`` so replayed queries never collide with restored ones.
 
@@ -545,6 +581,8 @@ class GraphCache:
                 self._window_store.add(entry)
             for snapshot in stats:
                 self._statistics.register_query(snapshot)
+            self._engine.rebuild_scores()
+            self._engine.restore_state(maintenance)
             restored_serials = [entry.serial for entry in entries] + [
                 entry.serial for entry in window_entries
             ]
@@ -582,7 +620,9 @@ class GraphCache:
                     query_distinct_labels=query_labels,
                     target_order=target_order,
                 )
-            self._statistics.record_hit(
+            # The engine's hit hook feeds the statistics store *and* the
+            # incremental utility heap in one call.
+            self._engine.on_hit(
                 serial=cached_serial,
                 benefiting_serial=serial,
                 cs_reduction=float(len(removed_ids)),
@@ -595,7 +635,7 @@ class GraphCache:
         contributing = set(pruning.contributions)
         for cached_serial in (outcome.result_sub | outcome.result_super) - contributing:
             if cached_serial in self._cache_store:
-                self._statistics.record_hit(
+                self._engine.on_hit(
                     serial=cached_serial,
                     benefiting_serial=serial,
                     cs_reduction=0.0,

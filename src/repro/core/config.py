@@ -22,6 +22,7 @@ QueryMode = str
 
 _VALID_MODES = ("subgraph", "supergraph")
 _VALID_POLICIES = ("lru", "pop", "pin", "pinc", "hd")
+_VALID_ADMISSION_KINDS = ("threshold", "adaptive")
 _VALID_EXECUTION_MODES = ("serial", "parallel")
 _VALID_BACKENDS = ("memory", "sqlite")
 
@@ -52,6 +53,11 @@ class GraphCacheConfig:
         first windows"; ``0.0`` disables admission control even if
         ``admission_control`` is ``True`` (paper: "a threshold value of 0
         disables this component").
+    admission_kind:
+        Which admission controller the maintenance engine runs:
+        ``"threshold"`` (the §6.2 quantile-calibrated filter, default) or
+        ``"adaptive"`` (the hill-climbing extension).  Resolved through the
+        :mod:`repro.core.policies` registry, like ``replacement_policy``.
     query_mode:
         ``"subgraph"`` (default) or ``"supergraph"``.
     index_path_length:
@@ -92,6 +98,7 @@ class GraphCacheConfig:
     admission_expensive_fraction: float = 0.25
     admission_calibration_windows: int = 2
     admission_threshold: Optional[float] = None
+    admission_kind: str = "threshold"
     query_mode: QueryMode = "subgraph"
     index_path_length: int = 3
     warmup_windows: int = 1
@@ -119,6 +126,11 @@ class GraphCacheConfig:
             raise CacheError("admission_expensive_fraction must be in (0, 1]")
         if self.admission_calibration_windows < 1:
             raise CacheError("admission_calibration_windows must be >= 1")
+        if self.admission_kind.lower() not in _VALID_ADMISSION_KINDS:
+            raise CacheError(
+                f"unknown admission kind {self.admission_kind!r}; "
+                f"valid kinds: {', '.join(_VALID_ADMISSION_KINDS)}"
+            )
         if self.index_path_length < 1:
             raise CacheError("index_path_length must be >= 1")
         if self.warmup_windows < 0:
@@ -154,6 +166,7 @@ class GraphCacheConfig:
         enabled: bool = True,
         expensive_fraction: Optional[float] = None,
         threshold: Optional[float] = None,
+        kind: Optional[str] = None,
     ) -> "GraphCacheConfig":
         """Return a copy with admission control switched on/off."""
         fraction = (
@@ -166,6 +179,7 @@ class GraphCacheConfig:
             admission_control=enabled,
             admission_expensive_fraction=fraction,
             admission_threshold=threshold,
+            admission_kind=self.admission_kind if kind is None else kind,
         )
 
     def with_backend(

@@ -9,23 +9,32 @@ answer sets, their statistics, the in-flight window and the configuration are
 written to a single JSON snapshot; loading the snapshot restores a warm cache
 in front of the same (re-built) Method M.
 
-Snapshot format v2 (this module writes v2 and migrates v1 on read):
+Snapshot format v3 (this module writes v3 and migrates v1/v2 on read):
 
 * one **sub-snapshot per shard** — a plain cache is a one-shard snapshot —
   each carrying its cached entries (+ per-query statistics), its current
-  window entries (+ statistics) and its serial counter;
+  window entries (+ statistics), its serial counter and its **maintenance
+  state**;
 * ``next_serial`` is the shard's actual serial counter, *not* its
   ``queries_processed`` count (v1 derived one from the other, which drifts
   as soon as window queries hold serials — the v1 migration compensates by
   taking the max with the highest persisted serial);
 * the window **is** persisted (v1 dropped it): restoring mid-window replays
-  exactly, instead of silently losing up to ``window_size - 1`` admissions.
+  exactly, instead of silently losing up to ``window_size - 1`` admissions;
+* the ``maintenance`` record (new in v3) carries the admission controller's
+  full state — calibration scores, windows observed, fixed threshold, and
+  the adaptive controller's hill-climb history — so a cache saved
+  *mid-calibration* resumes exactly where it stopped (v2 silently dropped
+  that state and recalibrated from scratch).  The replacement policy's
+  incremental utility heap is **not** serialized: its contents are derived
+  from the per-entry statistics the snapshot already carries, so the
+  restore path rebuilds it instead of trusting a second copy that could
+  drift.
 
 Restores go through the public :meth:`GraphCache.restore` API — persistence
 never reaches into private stores — so the entries land in whatever storage
 backend the configuration selects (in-memory or SQLite) and GCindex is
-rebuilt through the same code path the Window Manager uses after an update
-round.
+rebuilt through the same code path the engine's delta apply uses.
 """
 
 from __future__ import annotations
@@ -47,17 +56,20 @@ __all__ = ["save_cache", "load_cache"]
 
 PathLike = Union[str, Path]
 
-_FORMAT_VERSION = 2
+_FORMAT_VERSION = 3
 
 
 def _shard_payload(shard: GraphCache) -> Dict[str, Any]:
-    """Sub-snapshot of one (shard) cache: entries, window, stats, serial.
+    """Sub-snapshot of one (shard) cache: entries, window, stats, serial,
+    maintenance state.
 
     Built from :meth:`GraphCache.snapshot_state`, which reads everything
     under the shard's GC lock — snapshotting a cache that is concurrently
     serving queries can never observe a half-finished maintenance round.
     """
-    entries, stats, window_entries, next_serial = shard.snapshot_state()
+    entries, stats, window_entries, next_serial, maintenance = (
+        shard.snapshot_state()
+    )
     stats_by_serial = {snapshot.serial: snapshot for snapshot in stats}
 
     def with_stats(record: Dict[str, Any]) -> Dict[str, Any]:
@@ -68,13 +80,14 @@ def _shard_payload(shard: GraphCache) -> Dict[str, Any]:
         "next_serial": next_serial,
         "entries": [with_stats(CacheEntryCodec.encode(e)) for e in entries],
         "window": [with_stats(WindowEntryCodec.encode(e)) for e in window_entries],
+        "maintenance": maintenance,
     }
 
 
 def save_cache(
     cache: Union[GraphCache, ShardedGraphCache], path: PathLike
 ) -> None:
-    """Write a warm-cache snapshot of ``cache`` to ``path`` (JSON, format v2)."""
+    """Write a warm-cache snapshot of ``cache`` to ``path`` (JSON, format v3)."""
     shards = cache.shards if isinstance(cache, ShardedGraphCache) else (cache,)
     payload = {
         "format_version": _FORMAT_VERSION,
@@ -88,11 +101,12 @@ def save_cache(
 
 
 def _migrate_v1(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Lift a v1 snapshot (flat, single cache, no window) into the v2 shape.
+    """Lift a v1 snapshot (flat, single cache, no window) into the v3 shape.
 
     v1 stored ``queries_processed`` as ``next_serial``; that undercounts once
     window queries hold serials, so the restore takes the max with the
-    highest entry serial (the same guard v1's loader applied).
+    highest entry serial (the same guard v1's loader applied).  v1 carried
+    no maintenance state, so — like v2 — admission calibration restarts cold.
     """
     return {
         "format_version": _FORMAT_VERSION,
@@ -111,7 +125,12 @@ def _migrate_v1(payload: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def _restore_shard(shard: GraphCache, payload: Dict[str, Any]) -> None:
-    """Feed one sub-snapshot through the public ``restore`` API."""
+    """Feed one sub-snapshot through the public ``restore`` API.
+
+    ``maintenance`` is absent in v1/v2 sub-snapshots; ``restore`` treats
+    ``None`` as "restart admission calibration cold", which is exactly the
+    (buggy-but-only-available) pre-v3 behaviour those snapshots captured.
+    """
     entries = [CacheEntryCodec.decode(record) for record in payload["entries"]]
     window_entries = [
         WindowEntryCodec.decode(record) for record in payload.get("window", ())
@@ -126,13 +145,14 @@ def _restore_shard(shard: GraphCache, payload: Dict[str, Any]) -> None:
         stats=stats,
         next_serial=int(payload.get("next_serial", 0)),
         window_entries=window_entries,
+        maintenance=payload.get("maintenance"),
     )
 
 
 def load_cache(
     path: PathLike, method: Method
 ) -> Union[GraphCache, ShardedGraphCache]:
-    """Restore a warm cache over ``method`` from a snapshot (v1 or v2).
+    """Restore a warm cache over ``method`` from a snapshot (v1, v2 or v3).
 
     Returns a plain :class:`GraphCache` for single-shard snapshots and a
     :class:`ShardedGraphCache` for multi-shard ones.  The snapshot must have
@@ -144,7 +164,9 @@ def load_cache(
     version = payload.get("format_version")
     if version == 1:
         payload = _migrate_v1(payload)
-    elif version != _FORMAT_VERSION:
+    elif version not in (2, _FORMAT_VERSION):
+        # v2 is the v3 shape minus the per-shard maintenance record; the
+        # shard restore treats the missing record as cold admission state.
         raise CacheError(f"unsupported cache snapshot version {version!r}")
     if payload["dataset_size"] != len(method.dataset):
         raise CacheError(

@@ -1,0 +1,235 @@
+"""Incremental utility scoring for the replacement policies.
+
+The seed's maintenance path re-scored the *whole* cache on every window fill:
+``StatisticsManager.snapshots()`` copied one triplet-store row per cached
+entry (lock + dict copy + ten field conversions each) and the policy sorted
+all of them — O(cache log cache) work to pick a handful of victims.
+
+:class:`UtilityHeap` replaces that with incremental state:
+
+* the policy-relevant statistics of every *cached* entry (hits, last hit
+  serial, candidate-set reduction ``R``, cost reduction ``C``) are maintained
+  in place by O(1) per-hit update hooks — the same increments, applied in the
+  same order, as the Statistics Manager applies to its triplet store, so the
+  maintained values are bit-identical to a fresh snapshot;
+* for *recency* policies (``age_normalized = False``, i.e. LRU), utilities
+  change only on hits, so victims come from a classic lazy min-heap:
+  every add/hit pushes a re-keyed item, stale items are discarded on pop,
+  and selection costs O((k + stale) log n);
+* for *age-normalized* policies (POP/PIN/PINC/HD) every utility decays as
+  the current serial advances, so no stored key survives to decision time —
+  selection re-evaluates the maintained entries at the decision serial with
+  a bounded-k heap (``heapq.nsmallest``), which is O(n + k log n) float
+  arithmetic over in-memory state and touches neither the statistics store
+  nor the storage backend.
+
+Victim selection is pinned (unit tests and the maintenance benchmark) to be
+identical to the full-snapshot reference oracle
+(:meth:`~repro.core.policies.replacement.ReplacementPolicy.select_victims`):
+same utility formulas, same ``(utility, serial)`` total order, and — for HD —
+the same delegate choice over the same population in the same iteration
+order, because the heap's entry order mirrors the cache store's insertion
+order mutation for mutation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ...exceptions import CacheError
+from ..statistics import CachedQueryStats
+from .replacement import HybridPolicy, ReplacementPolicy
+
+__all__ = ["SelectionOutcome", "UtilityHeap"]
+
+
+class SelectionOutcome:
+    """One victim selection: the victims plus the policy rationale.
+
+    Attributes
+    ----------
+    victims:
+        Serials of the selected victims, lowest utility first.
+    policy:
+        Name of the configured policy.
+    delegate:
+        Name of the delegate HD resolved to (``None`` for non-hybrid
+        policies).
+    victim_utilities:
+        ``(serial, utility)`` pairs for the victims, in eviction order —
+        the per-victim rationale recorded in the maintenance plan.
+    """
+
+    __slots__ = ("victims", "policy", "delegate", "victim_utilities")
+
+    def __init__(
+        self,
+        victims: Tuple[int, ...],
+        policy: str,
+        delegate: Optional[str],
+        victim_utilities: Tuple[Tuple[int, float], ...],
+    ) -> None:
+        self.victims = victims
+        self.policy = policy
+        self.delegate = delegate
+        self.victim_utilities = victim_utilities
+
+
+class UtilityHeap:
+    """Incrementally maintained utility state for one replacement policy.
+
+    The heap tracks exactly the entries currently *cached* (window entries
+    are not eviction candidates).  Mutations mirror the cache store:
+    :meth:`add` on admission, :meth:`remove` on eviction, :meth:`rebuild` on
+    restore — so the entry iteration order always matches the store's
+    insertion order, which HD's population-level delegate choice depends on.
+    """
+
+    def __init__(self, policy: ReplacementPolicy) -> None:
+        self._policy = policy
+        self._stats: Dict[int, CachedQueryStats] = {}
+        # Lazy min-heap of (key, serial, stamp) for recency policies.  A
+        # global monotone stamp marks the newest item per serial; anything
+        # older is discarded on pop (lazy deletion).
+        self._heap: List[Tuple[Tuple[float, int], int, int]] = []
+        self._stamps: Dict[int, int] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def policy(self) -> ReplacementPolicy:
+        """The replacement policy this heap scores for."""
+        return self._policy
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def __contains__(self, serial: int) -> bool:
+        return serial in self._stats
+
+    def entries(self) -> List[CachedQueryStats]:
+        """The maintained statistics, in cache-store insertion order."""
+        return list(self._stats.values())
+
+    def stats(self, serial: int) -> CachedQueryStats:
+        """The maintained statistics of one cached entry."""
+        return self._stats[serial]
+
+    # ------------------------------------------------------------------ #
+    def _push(self, serial: int) -> None:
+        """(Re-)key one entry in the lazy heap (recency policies only)."""
+        if self._policy.age_normalized:
+            return
+        self._counter += 1
+        self._stamps[serial] = self._counter
+        utility = self._policy.utility(self._stats[serial], 0)
+        heapq.heappush(self._heap, ((utility, serial), serial, self._counter))
+
+    def add(self, stats: CachedQueryStats) -> None:
+        """Start tracking a newly admitted entry (O(log n))."""
+        if stats.serial in self._stats:
+            raise CacheError(f"query {stats.serial} is already scored")
+        self._stats[stats.serial] = stats
+        self._push(stats.serial)
+
+    def remove(self, serial: int) -> None:
+        """Stop tracking an evicted entry (lazy: heap items expire on pop)."""
+        self._stats.pop(serial, None)
+        self._stamps.pop(serial, None)
+
+    def rebuild(self, snapshots: Iterable[CachedQueryStats]) -> None:
+        """Reset the tracked population (cache restore / warm start)."""
+        self._stats = {}
+        self._heap = []
+        self._stamps = {}
+        for stats in snapshots:
+            self.add(stats)
+
+    def record_hit(
+        self,
+        serial: int,
+        benefiting_serial: int,
+        cs_reduction: float,
+        cost_reduction: float,
+        special: bool = False,
+    ) -> None:
+        """Per-hit update hook: O(1) field updates plus one lazy re-key.
+
+        Mirrors :meth:`~repro.core.statistics.StatisticsManager.record_hit`
+        increment for increment, so the maintained values never drift from
+        the statistics store.
+        """
+        stats = self._stats.get(serial)
+        if stats is None:
+            return
+        stats.hits += 1
+        if special:
+            stats.special_hits += 1
+        stats.last_hit_serial = benefiting_serial
+        if cs_reduction:
+            stats.cs_reduction += cs_reduction
+        if cost_reduction:
+            stats.cost_reduction += cost_reduction
+        self._push(serial)
+
+    # ------------------------------------------------------------------ #
+    def select_victims(self, evict_count: int, current_serial: int) -> SelectionOutcome:
+        """Pick the ``evict_count`` lowest-utility entries at ``current_serial``.
+
+        Identical victims to the reference oracle
+        (``policy.select_victims`` over fresh snapshots), selected without
+        touching the statistics store.
+        """
+        if evict_count < 0:
+            raise CacheError("evict_count must be non-negative")
+        if evict_count > len(self._stats):
+            raise CacheError(
+                f"cannot evict {evict_count} entries from a cache of {len(self._stats)}"
+            )
+        delegate: Optional[ReplacementPolicy] = None
+        scorer = self._policy
+        if isinstance(self._policy, HybridPolicy):
+            # Same population, same order as the oracle's snapshot list.
+            delegate = self._policy.choose(self.entries())
+            scorer = delegate
+        if evict_count == 0:
+            victims: List[Tuple[int, float]] = []
+        elif scorer.age_normalized:
+            ranked = heapq.nsmallest(
+                evict_count,
+                self._stats.values(),
+                key=lambda stats: (scorer.utility(stats, current_serial), stats.serial),
+            )
+            victims = [
+                (stats.serial, scorer.utility(stats, current_serial))
+                for stats in ranked
+            ]
+        else:
+            victims = self._pop_lazy(evict_count)
+        return SelectionOutcome(
+            victims=tuple(serial for serial, _ in victims),
+            policy=self._policy.name,
+            delegate=None if delegate is None else delegate.name,
+            victim_utilities=tuple(victims),
+        )
+
+    def _pop_lazy(self, evict_count: int) -> List[Tuple[int, float]]:
+        """Lazy-heap selection for recency policies (keys never decay).
+
+        Stale items (superseded by a hit re-key, or belonging to an entry
+        that was evicted) are discarded permanently; live items popped as
+        victims are pushed back so that a pure *decide* (without an apply)
+        leaves the heap intact.
+        """
+        victims: List[Tuple[int, float]] = []
+        live: List[Tuple[Tuple[float, int], int, int]] = []
+        while len(victims) < evict_count:
+            key, serial, stamp = heapq.heappop(self._heap)
+            if self._stamps.get(serial) != stamp:
+                continue  # superseded or removed: drop for good
+            victims.append((serial, key[0]))
+            live.append((key, serial, stamp))
+        for item in live:
+            heapq.heappush(self._heap, item)
+        return victims

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import threading
 from collections import Counter
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..ftv.features import path_features
@@ -34,7 +35,28 @@ from ..ftv.trie import PathTrie
 from ..graphs.graph import Graph
 from ..graphs.signatures import could_be_subgraph
 
-__all__ = ["QueryGraphIndex"]
+__all__ = ["IndexOpCounts", "QueryGraphIndex"]
+
+
+@dataclass
+class IndexOpCounts:
+    """Deterministic mutation counters of one :class:`QueryGraphIndex`.
+
+    ``adds``/``removes`` count per-query index mutations (a rebuild's
+    re-insertions also land in ``adds``); ``rebuilds`` counts whole-index
+    swaps.  The maintenance benchmark asserts on :attr:`incremental_ops`
+    deltas to prove a cache-update round touches O(window) index entries,
+    not O(cache).
+    """
+
+    adds: int = 0
+    removes: int = 0
+    rebuilds: int = 0
+
+    @property
+    def incremental_ops(self) -> int:
+        """Total per-query mutations (adds + removes)."""
+        return self.adds + self.removes
 
 
 class QueryGraphIndex:
@@ -63,6 +85,8 @@ class QueryGraphIndex:
 
     def __init__(self, max_path_length: int = 3) -> None:
         self._max_path_length = max_path_length
+        #: Deterministic mutation counters (see :class:`IndexOpCounts`).
+        self.op_counts = IndexOpCounts()
         self._trie = PathTrie()
         self._features: Dict[int, Counter] = {}
         self._probes: Dict[int, Tuple[Tuple[Tuple[str, ...], int], ...]] = {}
@@ -104,6 +128,7 @@ class QueryGraphIndex:
     def add(self, serial: int, query: Graph) -> None:
         """Index a cached query graph under its serial number."""
         with self._lock:
+            self.op_counts.adds += 1
             features = self.query_features(query)
             self._trie.insert_features(features, serial)
             self._features[serial] = features
@@ -115,6 +140,7 @@ class QueryGraphIndex:
         with self._lock:
             if serial not in self._graphs:
                 return
+            self.op_counts.removes += 1
             self._trie.remove_owner(serial)
             del self._features[serial]
             del self._probes[serial]
@@ -127,6 +153,7 @@ class QueryGraphIndex:
         built and swapped in wholesale after a cache-update round.
         """
         with self._lock:
+            self.op_counts.rebuilds += 1
             self._trie = PathTrie()
             self._features = {}
             self._probes = {}

@@ -42,6 +42,7 @@ from ..isomorphism.base import SubgraphMatcher
 from ..methods.base import Method
 from .cache import CacheQueryResult, GraphCache
 from .config import GraphCacheConfig
+from .policies import MaintenanceReport
 from .sharding import ShardedGraphCache, build_cache
 
 __all__ = ["GraphCacheService"]
@@ -177,3 +178,15 @@ class GraphCacheService:
     ) -> List[FrozenSet[int]]:
         """Convenience wrapper returning only the answer sets, in order."""
         return [result.answer_ids for result in self.query_many(queries, jobs=jobs)]
+
+    def maintenance_reports(self) -> List[MaintenanceReport]:
+        """Every cache-update round the wrapped cache has run so far.
+
+        Sharded caches report all shards' rounds (grouped by shard id); each
+        report carries its :class:`~repro.core.policies.plan.MaintenancePlan`
+        and the O(window) apply-side op counters, so a service operator can
+        audit admission/eviction decisions without touching cache internals.
+        """
+        if isinstance(self._cache, ShardedGraphCache):
+            return self._cache.maintenance_reports()
+        return self._cache.window_manager.reports

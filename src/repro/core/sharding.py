@@ -47,6 +47,7 @@ from ..isomorphism.base import SubgraphMatcher
 from ..methods.base import Method
 from .cache import CacheQueryResult, CacheRuntimeStatistics, GraphCache
 from .config import GraphCacheConfig
+from .policies import MaintenanceEngine, MaintenanceReport
 from .query_index import QueryGraphIndex
 
 __all__ = ["ShardedGraphCache", "build_cache", "stable_feature_hash"]
@@ -183,6 +184,22 @@ class ShardedGraphCache:
     def shard_statistics(self) -> List[CacheRuntimeStatistics]:
         """Per-shard runtime counters, indexed by shard id."""
         return [shard.runtime_statistics for shard in self._shards]
+
+    def maintenance_engines(self) -> List[MaintenanceEngine]:
+        """Per-shard maintenance engines, indexed by shard id.
+
+        Every shard runs its own engine (own utility heap, own admission
+        calibration) under its own GC lock — maintenance rounds on different
+        shards proceed concurrently, like everything else per-shard.
+        """
+        return [shard.maintenance_engine for shard in self._shards]
+
+    def maintenance_reports(self) -> List[MaintenanceReport]:
+        """Every shard's cache-update reports, grouped by shard id order."""
+        collected: List[MaintenanceReport] = []
+        for shard in self._shards:
+            collected.extend(shard.window_manager.reports)
+        return collected
 
     def results(self) -> List[CacheQueryResult]:
         """All per-query results, ordered by serial within each shard."""

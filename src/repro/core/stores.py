@@ -31,7 +31,7 @@ import json
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Union
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Union
 
 from ..exceptions import CacheError
 from ..graphs.graph import Graph
@@ -204,6 +204,43 @@ class CacheStore:
                 raise CacheError(f"query {serial} is not cached")
             self._backend.delete(serial)
             return entry
+
+    def apply_delta(
+        self, add: Sequence[CacheEntry], remove: Iterable[int]
+    ) -> None:
+        """Row-level delta update: the maintenance engine's apply step.
+
+        Removes the ``remove`` serials, then appends the ``add`` entries —
+        O(delta) backend row operations instead of the O(store) rewrite of
+        :meth:`replace_contents`, with the same observable iteration order
+        (survivors keep their position, additions append).  Validates the
+        same invariants as the seed's swap: every removed serial must be
+        cached, no added serial may collide (with the survivors or within
+        the batch), and the result must fit the capacity.
+        """
+        add = list(add)
+        removals = list(remove)
+        added_serials = {entry.serial for entry in add}
+        if len(added_serials) != len(add):
+            raise CacheError("duplicate serial numbers in cache-store delta")
+        with self._lock:
+            for serial in removals:
+                if not self._backend.contains(serial):
+                    raise CacheError(f"query {serial} is not cached")
+            removed = set(removals)
+            for entry in add:
+                if entry.serial not in removed and self._backend.contains(
+                    entry.serial
+                ):
+                    raise CacheError(f"query {entry.serial} is already cached")
+            resulting = self._backend.count() - len(removed) + len(add)
+            if resulting > self._capacity:
+                raise CacheError(
+                    f"{resulting} entries exceed the cache capacity of {self._capacity}"
+                )
+            self._backend.apply_delta(
+                ((entry.serial, entry) for entry in add), removals
+            )
 
     def replace_contents(self, entries: List[CacheEntry]) -> None:
         """Atomically swap in a new set of entries (the index-rebuild swap)."""

@@ -1,171 +1,16 @@
-"""Window Manager: batched cache updates with admission control (§6.2).
+"""Compatibility shim: the Window Manager moved to :mod:`repro.core.policies`.
 
-New queries are not inserted into the cache one by one.  They accumulate in
-the Window; when the Window is full, the Window Manager
-
-1. runs the admission controller over the window queries (cache pollution
-   avoidance),
-2. determines how many cached entries must be evicted to make room and asks
-   the replacement policy for the victims,
-3. installs the new cache contents and rebuilds the GCindex, swapping it in
-   place of the old one,
-4. removes the statistics of evicted queries.
-
-In the paper this happens on a separate thread while queries keep being
-served by the old index; in this single-threaded reproduction the maintenance
-work is executed synchronously but its wall-clock cost is accounted separately
-(it is the "overhead" series of Figure 10) and not charged to query response
-time.
+:class:`WindowManager` now lives in :mod:`repro.core.policies.window` as a
+thin batching front end over the
+:class:`~repro.core.policies.engine.MaintenanceEngine`;
+:class:`MaintenanceReport` (extended with the per-round plan and the
+O(window) op counters) lives in :mod:`repro.core.policies.plan`.  This
+module re-exports the seed-era names so existing imports keep working.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
-
-from .admission import AdmissionController
-from .query_index import QueryGraphIndex
-from .replacement import ReplacementPolicy
-from .statistics import CachedQueryStats, StatisticsManager
-from .stores import CacheEntry, CacheStore, WindowEntry, WindowStore
+from .policies.plan import MaintenanceReport
+from .policies.window import WindowManager
 
 __all__ = ["MaintenanceReport", "WindowManager"]
-
-
-@dataclass(frozen=True)
-class MaintenanceReport:
-    """Summary of one cache-update round."""
-
-    window_queries: int
-    admitted_serials: Tuple[int, ...]
-    rejected_serials: Tuple[int, ...]
-    evicted_serials: Tuple[int, ...]
-    cache_size_after: int
-    elapsed_s: float
-
-
-class WindowManager:
-    """Coordinates admission, replacement and GCindex rebuilds."""
-
-    def __init__(
-        self,
-        cache_store: CacheStore,
-        window_store: WindowStore,
-        statistics: StatisticsManager,
-        index: QueryGraphIndex,
-        policy: ReplacementPolicy,
-        admission: AdmissionController,
-    ) -> None:
-        self._cache_store = cache_store
-        self._window_store = window_store
-        self._statistics = statistics
-        self._index = index
-        self._policy = policy
-        self._admission = admission
-        self._reports: List[MaintenanceReport] = []
-        self._total_maintenance_s = 0.0
-
-    # ------------------------------------------------------------------ #
-    @property
-    def reports(self) -> List[MaintenanceReport]:
-        """Reports of every cache-update round so far."""
-        return list(self._reports)
-
-    @property
-    def total_maintenance_s(self) -> float:
-        """Cumulative wall-clock time spent on cache maintenance."""
-        return self._total_maintenance_s
-
-    @property
-    def policy(self) -> ReplacementPolicy:
-        """The replacement policy in use."""
-        return self._policy
-
-    @property
-    def admission(self) -> AdmissionController:
-        """The admission controller in use."""
-        return self._admission
-
-    def window_entries(self) -> List[WindowEntry]:
-        """Current window contents (ordered by serial), without draining."""
-        return self._window_store.entries()
-
-    # ------------------------------------------------------------------ #
-    def add_query(self, entry: WindowEntry) -> Optional[MaintenanceReport]:
-        """Add a processed query to the Window; run maintenance if it filled up."""
-        self._window_store.add(entry)
-        # Window queries get their static statistics recorded immediately so
-        # that, if admitted, their history starts at first execution.
-        self._statistics.register_query(
-            CachedQueryStats(
-                serial=entry.serial,
-                order=entry.query.order,
-                size=entry.query.size,
-                distinct_labels=len(entry.query.distinct_labels()),
-                filter_time_s=entry.filter_time_s,
-                verify_time_s=entry.verify_time_s,
-            )
-        )
-        if self._window_store.is_full:
-            return self.run_maintenance(current_serial=entry.serial)
-        return None
-
-    # ------------------------------------------------------------------ #
-    def run_maintenance(self, current_serial: int) -> MaintenanceReport:
-        """Drain the window and update cache contents, index and statistics."""
-        started = time.perf_counter()
-        window_entries = self._window_store.drain()
-
-        # 1. Admission control (calibrates itself on the first windows).
-        self._admission.observe_window(window_entries)
-        admitted = self._admission.filter_admitted(window_entries)
-        if len(admitted) > self._cache_store.capacity:
-            # Windows larger than the cache itself: only the most recent
-            # admitted queries can possibly fit.
-            admitted = admitted[-self._cache_store.capacity:]
-        rejected = [entry for entry in window_entries if entry not in admitted]
-
-        # 2. Decide evictions.
-        free_slots = self._cache_store.free_slots()
-        evict_count = max(0, len(admitted) - free_slots)
-        evicted: List[int] = []
-        if evict_count > 0:
-            snapshots = self._statistics.snapshots(self._cache_store.serials())
-            evicted = self._policy.select_victims(
-                snapshots, evict_count, current_serial=current_serial
-            )
-
-        # 3. Compute the new cache contents and swap them (and the index) in.
-        surviving = [
-            entry for entry in self._cache_store if entry.serial not in set(evicted)
-        ]
-        new_entries = surviving + [
-            CacheEntry(
-                serial=entry.serial, query=entry.query, answer_ids=entry.answer_ids
-            )
-            for entry in admitted
-        ]
-        self._cache_store.replace_contents(new_entries)
-        self._index.rebuild(
-            (entry.serial, entry.query) for entry in self._cache_store
-        )
-
-        # 4. Lazily drop statistics of evicted and rejected queries.
-        for serial in evicted:
-            self._statistics.forget_query(serial)
-        for entry in rejected:
-            self._statistics.forget_query(entry.serial)
-
-        elapsed = time.perf_counter() - started
-        self._total_maintenance_s += elapsed
-        report = MaintenanceReport(
-            window_queries=len(window_entries),
-            admitted_serials=tuple(entry.serial for entry in admitted),
-            rejected_serials=tuple(entry.serial for entry in rejected),
-            evicted_serials=tuple(evicted),
-            cache_size_after=len(self._cache_store),
-            elapsed_s=elapsed,
-        )
-        self._reports.append(report)
-        return report

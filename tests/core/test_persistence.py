@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import functools
 import json
+import random
 from dataclasses import asdict
 
 import pytest
@@ -20,8 +21,10 @@ from repro.core.cache import GraphCache
 from repro.core.config import GraphCacheConfig
 from repro.core.persistence import load_cache, save_cache
 from repro.core.sharding import ShardedGraphCache, build_cache
+from repro.core.stores import WindowEntry
 from repro.exceptions import CacheError
 from repro.graphs.generators import aids_like
+from repro.graphs.graph import Graph
 from repro.graphs.io import graph_to_text
 from repro.methods import SIMethod
 from repro.workloads import generate_type_a
@@ -126,7 +129,7 @@ def _write_v1_snapshot(cache: GraphCache, path) -> None:
     migration path is exercised end to end.
     """
     config = asdict(cache.config)
-    for newer_field in ("backend", "backend_path", "shards"):
+    for newer_field in ("backend", "backend_path", "shards", "admission_kind"):
         config.pop(newer_field, None)
     entries = []
     for serial in cache.cached_serials:
@@ -320,6 +323,139 @@ class TestPublicRestoreApi:
         assert cache.cached_serials == []
 
 
+def _synthetic_stream(seed: int, count: int = 24):
+    """Deterministic WindowEntry stream (synthetic timings, real graphs).
+
+    Admission expensiveness is a wall-clock ratio on the live query path, so
+    replay identity under admission control is tested by *injecting* the
+    timings: the stream is a pure function of ``seed``, making the
+    maintenance decisions — including the calibrated threshold — exactly
+    reproducible across runs.
+    """
+    rng = random.Random(seed)
+    entries = []
+    for serial in range(1, count + 1):
+        labels = ["C", "N", "O", "S"][serial % 4], ["C", "O"][serial % 2], "C"
+        entries.append(
+            WindowEntry(
+                serial=serial,
+                query=Graph(labels=list(labels), edges=[(0, 1), (1, 2)]),
+                answer_ids=frozenset({serial % 3}),
+                filter_time_s=1.0,
+                verify_time_s=rng.uniform(0.1, 10.0),
+            )
+        )
+    return entries
+
+
+def _feed_stream(cache, entries, start_index: int = 0):
+    """Round-robin the entries over the shards' window managers; collect plans."""
+    plans = []
+    shard_count = cache.shard_count if isinstance(cache, ShardedGraphCache) else 1
+    for offset, entry in enumerate(entries):
+        position = start_index + offset
+        manager = (
+            cache.shards[position % shard_count].window_manager
+            if isinstance(cache, ShardedGraphCache)
+            else cache.window_manager
+        )
+        report = manager.add_query(entry)
+        if report is not None:
+            plans.append(report.plan.to_record())
+    return plans
+
+
+class TestMidCalibrationRoundTrip:
+    """ISSUE-4: admission/adaptive state survives snapshots (format v3).
+
+    The seed silently dropped the admission controller's calibration state
+    on restore, so a cache saved mid-calibration recalibrated from scratch.
+    The property: for a deterministic maintenance stream, save → load →
+    replay produces the identical plan sequence to an uninterrupted run —
+    for both backends and shards ∈ {1, 3}, at any split point.
+    """
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        split=st.integers(min_value=1, max_value=23),
+        backend=st.sampled_from(["memory", "sqlite"]),
+        shards=st.sampled_from([1, 3]),
+    )
+    def test_maintenance_replay_identity(
+        self, tmp_path_factory, seed, split, backend, shards
+    ):
+        dataset = _roundtrip_dataset(seed % 3)
+        config = GraphCacheConfig(
+            cache_capacity=5,
+            window_size=4,
+            admission_control=True,
+            admission_expensive_fraction=0.5,
+            admission_calibration_windows=3,
+            backend=backend,
+            shards=shards,
+        )
+        entries = _synthetic_stream(seed)
+        path = tmp_path_factory.mktemp("snapshots") / "midcal.json"
+
+        uninterrupted = build_cache(SIMethod(dataset, matcher="vf2plus"), config)
+        expected = _feed_stream(uninterrupted, entries)
+
+        interrupted = build_cache(SIMethod(dataset, matcher="vf2plus"), config)
+        prefix = _feed_stream(interrupted, entries[:split])
+        save_cache(interrupted, path)
+        restored = load_cache(path, SIMethod(dataset, matcher="vf2plus"))
+        suffix = _feed_stream(restored, entries[split:], start_index=split)
+
+        assert prefix + suffix == expected
+        uninterrupted.close()
+        interrupted.close()
+        restored.close()
+
+    def test_adaptive_state_round_trips_through_snapshot(self, tmp_path):
+        dataset = _roundtrip_dataset(0)
+        config = GraphCacheConfig(
+            cache_capacity=5,
+            window_size=4,
+            admission_control=True,
+            admission_kind="adaptive",
+            admission_calibration_windows=1,
+        )
+        cache = GraphCache(SIMethod(dataset, matcher="vf2plus"), config)
+        _feed_stream(cache, _synthetic_stream(3, count=8))
+        controller = cache.window_manager.admission
+        controller.record_window_saving(2.0)
+        controller.record_window_saving(1.0)  # reversal mutates step + direction
+        assert controller.threshold_history
+
+        path = tmp_path / "adaptive.json"
+        save_cache(cache, path)
+        restored = load_cache(path, SIMethod(dataset, matcher="vf2plus"))
+        restored_controller = restored.window_manager.admission
+        assert restored_controller.state_record() == controller.state_record()
+        assert restored_controller.threshold_history == controller.threshold_history
+
+    def test_v2_snapshot_loads_with_cold_admission_state(self, warm_cache, tmp_path):
+        """A v2 snapshot (no maintenance record) still loads; admission
+        restarts cold — the only behaviour v2 ever captured."""
+        cache, method, _ = warm_cache
+        path = tmp_path / "v2.json"
+        save_cache(cache, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 2
+        for shard_payload in payload["shards"]:
+            shard_payload.pop("maintenance", None)
+        path.write_text(json.dumps(payload))
+
+        restored = load_cache(path, method)
+        assert sorted(restored.cached_serials) == sorted(cache.cached_serials)
+        assert restored.window_manager.admission.threshold is None
+
+
 class TestValidation:
     def test_dataset_size_mismatch_rejected(self, warm_cache, tmp_path):
         cache, _, _ = warm_cache
@@ -333,7 +469,7 @@ class TestValidation:
         cache, method, _ = warm_cache
         path = tmp_path / "cache.json"
         save_cache(cache, path)
-        text = path.read_text().replace('"format_version": 2', '"format_version": 99')
+        text = path.read_text().replace('"format_version": 3', '"format_version": 99')
         path.write_text(text)
         with pytest.raises(CacheError):
             load_cache(path, method)

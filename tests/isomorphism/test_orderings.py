@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-
+from collections import Counter
 
 from repro.graphs.generators import random_connected_graph
 from repro.graphs.graph import Graph
@@ -11,8 +11,6 @@ from repro.isomorphism.graphql_match import GraphQLMatcher, _counter_covers
 from repro.isomorphism.ullmann import UllmannMatcher
 from repro.isomorphism.vf2 import VF2Matcher, connectivity_order
 from repro.isomorphism.vf2_plus import VF2PlusMatcher
-
-from collections import Counter
 
 
 class TestConnectivityOrder:
