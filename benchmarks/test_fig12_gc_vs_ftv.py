@@ -24,11 +24,13 @@ CACHE_SIZES = (30, 150)
 
 def run_figure12():
     series = {}
+    subiso_series = {}
     sizes = {}
     for dataset in DATASETS:
         for cache_capacity in CACHE_SIZES:
             key = f"{dataset.upper()} c{cache_capacity}-b10"
             values = {}
+            subiso_values = {}
             for label in WORKLOADS:
                 gc_over_vf2 = experiment_cell(
                     dataset, "vf2plus", label, policy="hd", cache_capacity=cache_capacity
@@ -38,16 +40,26 @@ def run_figure12():
                     ctindex_alone.speedups.baseline.avg_time_s
                     / max(1e-12, gc_over_vf2.speedups.cached.avg_time_s)
                 )
+                # Deterministic twin of the wall-clock ratio: sub-iso tests
+                # CT-Index alone runs per query vs sub-iso tests GC over
+                # plain VF2+ still runs (both verify with VF2+).
+                subiso_values[label] = (
+                    ctindex_alone.speedups.baseline.avg_subiso_tests
+                    / max(1e-12, gc_over_vf2.speedups.cached.avg_subiso_tests)
+                )
                 sizes[(dataset, cache_capacity)] = (
                     gc_over_vf2.cache.cache_size_bytes(),
                     ctindex_alone.cache.method.index_size_bytes(),
                 )
             series[key] = values
-    return series, sizes
+            subiso_series[key] = subiso_values
+    return series, subiso_series, sizes
 
 
 def test_fig12_gc_vs_ctindex(benchmark):
-    series, sizes = benchmark.pedantic(run_figure12, rounds=1, iterations=1)
+    series, subiso_series, sizes = benchmark.pedantic(
+        run_figure12, rounds=1, iterations=1
+    )
     print_figure(
         "Figure 12",
         "GC over VF2+ vs CT-Index alone (ratio of CT-Index time to GC/VF2+ time)",
@@ -59,10 +71,14 @@ def test_fig12_gc_vs_ctindex(benchmark):
             f"space: {dataset.upper()} c{cache_capacity} — GC ≈ {gc_bytes / 1024:.0f} KiB "
             f"vs CT-Index index ≈ {index_bytes / 1024:.0f} KiB"
         )
-    # Shape check: the larger cache is at least as competitive as the small one.
+    # Shape check on deterministic work counters (the wall-clock ratio table
+    # above is informational, per the repo convention — sub-second timing
+    # ratios drown in scheduler noise): the larger cache alleviates at least
+    # as many sub-iso tests, so its CT-Index-vs-GC test-count ratio is at
+    # least as competitive as the small cache's.
     for dataset in DATASETS:
-        small = series[f"{dataset.upper()} c30-b10"]
-        large = series[f"{dataset.upper()} c150-b10"]
+        small = subiso_series[f"{dataset.upper()} c30-b10"]
+        large = subiso_series[f"{dataset.upper()} c150-b10"]
         mean_small = sum(small.values()) / len(small)
         mean_large = sum(large.values()) / len(large)
-        assert mean_large >= 0.8 * mean_small, (dataset, small, large)
+        assert mean_large >= mean_small, (dataset, small, large)

@@ -10,7 +10,7 @@ HD → CoV(R) ≈ 0.65 < 1 → PINC's choice {53, 82}.
 from __future__ import annotations
 
 from repro.bench.reporting import print_table
-from repro.core.replacement import policy_by_name, squared_coefficient_of_variation
+from repro.core.policies import policy_by_name, squared_coefficient_of_variation
 from repro.core.statistics import CachedQueryStats
 
 TABLE_1 = [

@@ -161,6 +161,9 @@ def run_cached(
         results = GraphCacheService(cache).query_many(list(workload), jobs=jobs)
     else:
         results = [cache.query(query) for query in workload]
+    # Quiesce background maintenance before anyone reads reports/journals:
+    # a no-op under sync/barrier scheduling.
+    cache.drain_maintenance()
     return cache, results[warmup_queries:]
 
 

@@ -14,7 +14,11 @@ writing Python:
 * ``graphcache batch`` — push a workload through ``GraphCacheService.
   query_many`` and print the per-stage pipeline breakdown and work counters;
 * ``graphcache policies`` — compare the five replacement policies on one
-  configuration (a one-command miniature of the paper's Figure 4).
+  configuration (a one-command miniature of the paper's Figure 4);
+* ``graphcache maintenance`` — inspect per-round maintenance decisions: run
+  an experiment and print every round's ``MaintenanceReport`` (counts, policy
+  rationale, admitted/evicted serials), or decode an append-only plan-journal
+  file written by ``--journal-path``.
 
 Every command accepts ``--seed`` so results are reproducible.
 """
@@ -37,7 +41,12 @@ from ..bench.reporting import format_table
 from ..core.backends import AVAILABLE_BACKENDS
 from ..core.config import GraphCacheConfig
 from ..core.pipeline import STAGE_NAMES
-from ..core.policies import available_admission_controllers, available_policies
+from ..core.policies import (
+    SCHEDULER_MODES,
+    PlanJournal,
+    available_admission_controllers,
+    available_policies,
+)
 from ..core.service import GraphCacheService
 from ..core.sharding import build_cache
 from ..graphs.generators import DATASET_FACTORIES, dataset_by_name
@@ -119,11 +128,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_experiment_arguments(policies)
 
+    # maintenance --------------------------------------------------------------- #
+    maintenance = subparsers.add_parser(
+        "maintenance",
+        help="inspect per-round maintenance reports of a run, or decode an "
+             "append-only plan-journal file",
+    )
+    _add_experiment_arguments(maintenance, dataset_required=False)
+    maintenance.add_argument("--policy", choices=available_policies(), default="hd",
+                             help="cache replacement policy")
+    maintenance.add_argument("--journal", type=Path, default=None,
+                             help="decode this plan-journal file instead of "
+                                  "running an experiment")
+    maintenance.add_argument("--serials", action="store_true",
+                             help="also print per-round admitted/evicted "
+                                  "serials and victim utilities")
+
     return parser
 
 
-def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("dataset", choices=sorted(DATASET_FACTORIES), help="dataset family")
+def _add_experiment_arguments(
+    parser: argparse.ArgumentParser, dataset_required: bool = True
+) -> None:
+    if dataset_required:
+        parser.add_argument("dataset", choices=sorted(DATASET_FACTORIES),
+                            help="dataset family")
+    else:
+        parser.add_argument("dataset", nargs="?", default=None,
+                            choices=sorted(DATASET_FACTORIES),
+                            help="dataset family (omit with --journal)")
     parser.add_argument("--scale", type=float, default=0.5, help="dataset size multiplier")
     parser.add_argument("--method", choices=available_methods(), default="ggsx",
                         help="Method M to expedite")
@@ -153,6 +186,17 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
                         help="split the cache into N independent shards; "
                              "with --jobs > 1 full GC pipelines run "
                              "concurrently, one per shard")
+    parser.add_argument("--maintenance-mode", choices=list(SCHEDULER_MODES),
+                        default="sync",
+                        help="where cache-update rounds execute: inline on "
+                             "the committing thread (sync), on a worker "
+                             "thread off the query path (background), or on "
+                             "the worker behind a completion barrier — the "
+                             "deterministic test mode (barrier)")
+    parser.add_argument("--journal-path", type=Path, default=None,
+                        help="append every applied maintenance plan to this "
+                             "file (one JSON line per round; sharded caches "
+                             "write one file per shard)")
     parser.add_argument("--seed", type=int, default=0, help="generation seed")
 
 
@@ -241,6 +285,8 @@ def _experiment_config(
         backend=args.backend,
         backend_path=None if args.backend_path is None else str(args.backend_path),
         shards=args.shards,
+        maintenance_mode=args.maintenance_mode,
+        journal_path=None if args.journal_path is None else str(args.journal_path),
     )
 
 
@@ -259,6 +305,7 @@ def _command_batch(args: argparse.Namespace) -> int:
     )
     service = GraphCacheService.for_method(method, config)
     results = service.query_many(list(workload), jobs=args.jobs)
+    service.drain_maintenance()
 
     count = len(results)
     runtime = service.cache.runtime_statistics
@@ -283,6 +330,7 @@ def _command_batch(args: argparse.Namespace) -> int:
     for stage in STAGE_NAMES:
         row[f"{stage}_ms"] = round(stages.get(stage, 0.0) * 1000.0, 3)
     print(format_table([row]))
+    service.close()
     return 0
 
 
@@ -301,6 +349,11 @@ def _command_policies(args: argparse.Namespace) -> int:
             config = config.with_backend(
                 config.backend, f"{config.backend_path}.{policy}"
             )
+        if config.journal_path is not None:
+            # One decision stream per policy, for the same reason.
+            config = config.with_maintenance_mode(
+                config.maintenance_mode, f"{config.journal_path}.{policy}"
+            )
         cache = build_cache(method, config)
         results = [cache.query(query) for query in workload]
         cache.close()
@@ -317,6 +370,83 @@ def _command_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _plan_rows(plans, with_serials: bool):
+    """Table rows (and optional serial-detail lines) for a plan stream."""
+    rows = []
+    details = []
+    for round_no, plan in enumerate(plans, start=1):
+        threshold = plan.admission_threshold
+        rows.append(
+            {
+                "round": round_no,
+                "at_serial": plan.current_serial,
+                "window": len(plan.window_serials),
+                "admitted": len(plan.admitted_serials),
+                "rejected": len(plan.rejected_serials),
+                "evicted": len(plan.evicted_serials),
+                "policy": plan.policy,
+                "delegate": plan.policy_delegate or "-",
+                "threshold": "-" if threshold is None else round(threshold, 4),
+            }
+        )
+        if with_serials:
+            victims = ", ".join(
+                f"{serial} (u={utility:.4g})"
+                for serial, utility in plan.victim_utilities
+            )
+            details.append(
+                f"round {round_no}: admitted "
+                f"[{', '.join(map(str, plan.admitted_serials)) or '-'}]; "
+                f"rejected [{', '.join(map(str, plan.rejected_serials)) or '-'}]; "
+                f"evicted [{victims or '-'}]"
+            )
+    return rows, details
+
+
+def _command_maintenance(args: argparse.Namespace) -> int:
+    if args.journal is not None:
+        plans = PlanJournal.load(args.journal)
+        rows, details = _plan_rows(plans, args.serials)
+        if not rows:
+            print(f"{args.journal}: empty journal (no rounds applied)")
+            return 0
+        print(format_table(rows))
+        for line in details:
+            print(line)
+        return 0
+
+    if args.dataset is None:
+        print(
+            "graphcache maintenance: provide a dataset to run, "
+            "or --journal FILE to decode a plan journal",
+            file=sys.stderr,
+        )
+        return 2
+
+    method, workload = _build_experiment(args)
+    config = _experiment_config(args)
+    service = GraphCacheService.for_method(method, config)
+    service.query_many(list(workload), jobs=1)
+    service.drain_maintenance()
+    # Filter reports and plans together so the per-round op columns can
+    # never shift onto the wrong row if a plan-less report ever appears.
+    reports = [r for r in service.maintenance_reports() if r.plan is not None]
+    rows, details = _plan_rows([report.plan for report in reports], args.serials)
+    for row, report in zip(rows, reports):
+        row["cache_size"] = report.cache_size_after
+        row["index_ops"] = report.index_ops
+        row["row_ops"] = report.backend_row_ops
+    if not rows:
+        print("no maintenance rounds ran (window never filled)")
+        service.close()
+        return 0
+    print(format_table(rows))
+    for line in details:
+        print(line)
+    service.close()
+    return 0
+
+
 _COMMANDS = {
     "info": _command_info,
     "dataset": _command_dataset,
@@ -324,6 +454,7 @@ _COMMANDS = {
     "run": _command_run,
     "batch": _command_batch,
     "policies": _command_policies,
+    "maintenance": _command_maintenance,
 }
 
 

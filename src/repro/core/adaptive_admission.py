@@ -7,6 +7,15 @@ name so existing imports keep working.
 
 from __future__ import annotations
 
+import warnings
+
+warnings.warn(
+    "repro.core.adaptive_admission is a deprecated re-export shim; "
+    "import from repro.core.policies instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
 from .policies.adaptive import AdaptiveAdmissionController
 
 __all__ = ["AdaptiveAdmissionController"]

@@ -8,6 +8,15 @@ seed-era name so existing imports keep working.
 
 from __future__ import annotations
 
+import warnings
+
+warnings.warn(
+    "repro.core.admission is a deprecated re-export shim; "
+    "import from repro.core.policies instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
 from .policies.admission import AdmissionController
 
 __all__ = ["AdmissionController"]

@@ -52,8 +52,11 @@ from .pipeline import (
 )
 from .policies import (
     MaintenanceEngine,
+    MaintenanceScheduler,
+    PlanJournal,
     WindowManager,
     admission_by_name,
+    create_scheduler,
     policy_by_name,
 )
 from .processors import CacheProcessors, ProcessorOutcome
@@ -243,7 +246,13 @@ class GraphCache:
             ),
         )
         self._statistics = StatisticsManager()
-        self._index = QueryGraphIndex(max_path_length=self._config.index_path_length)
+        # Sync scheduling serializes applies and lookups under the GC lock,
+        # so the index keeps one copy; the background/barrier schedulers
+        # need the double buffer for lock-free snapshot reads mid-apply.
+        self._index = QueryGraphIndex(
+            max_path_length=self._config.index_path_length,
+            double_buffered=self._config.maintenance_mode.lower() != "sync",
+        )
         self._containment_matcher = self._resolve_containment_matcher(matcher)
         self._processors = CacheProcessors(
             self._index, matcher=self._containment_matcher
@@ -253,7 +262,10 @@ class GraphCache:
         )
         # The maintenance subsystem: policy and admission controller come
         # from the repro.core.policies registries; the engine owns the
-        # decide/apply rounds and the incremental utility heap.
+        # decide/apply rounds and the incremental utility heap; the
+        # scheduler (config.maintenance_mode) decides where rounds execute
+        # and journals every applied plan.
+        self._gc_lock = threading.RLock()
         self._engine = MaintenanceEngine(
             cache_store=self._cache_store,
             statistics=self._statistics,
@@ -267,17 +279,23 @@ class GraphCache:
                 threshold=self._config.admission_threshold,
             ),
         )
+        self._scheduler = create_scheduler(
+            self._config.maintenance_mode,
+            engine=self._engine,
+            gc_lock=self._gc_lock,
+            journal=PlanJournal(self._config.journal_path),
+        )
         self._window_manager = WindowManager(
             cache_store=self._cache_store,
             window_store=self._window_store,
             statistics=self._statistics,
             engine=self._engine,
+            scheduler=self._scheduler,
         )
         self._serial = 0
         self._runtime = CacheRuntimeStatistics()
         self._results: List[CacheQueryResult] = []
         self._serial_lock = threading.Lock()
-        self._gc_lock = threading.RLock()
         self._pipeline = QueryPipeline(
             MfilterStage(method),
             ProcessorStage(self._processors),
@@ -366,6 +384,16 @@ class GraphCache:
     def maintenance_engine(self) -> MaintenanceEngine:
         """The maintenance engine (decide/apply rounds, utility heap)."""
         return self._engine
+
+    @property
+    def maintenance_scheduler(self) -> MaintenanceScheduler:
+        """The scheduler deciding where maintenance rounds execute."""
+        return self._scheduler
+
+    @property
+    def plan_journal(self) -> PlanJournal:
+        """The append-only journal of every applied maintenance plan."""
+        return self._scheduler.journal
 
     @property
     def runtime_statistics(self) -> CacheRuntimeStatistics:
@@ -512,6 +540,17 @@ class GraphCache:
         """Convenience wrapper returning only the answer set."""
         return self.query(query).answer_ids
 
+    def drain_maintenance(self) -> None:
+        """Block until every scheduled maintenance round has been applied.
+
+        A no-op under ``sync``/``barrier`` scheduling (rounds complete before
+        the submitting query returns).  Under ``background`` scheduling this
+        is the quiescence point: after it returns, every filled window has
+        been decided, applied and journaled.  Callers must not hold the GC
+        lock (a pending apply needs it briefly to finish).
+        """
+        self._scheduler.drain()
+
     def snapshot_state(
         self,
     ) -> Tuple[
@@ -532,21 +571,35 @@ class GraphCache:
         window queries; ``maintenance`` is the engine's state record
         (admission calibration, adaptive-threshold history — snapshot format
         v3 carries it so a cache interrupted mid-calibration resumes exactly).
+
+        **Drain-before-snapshot**: pending background maintenance rounds are
+        applied first, so a snapshot never captures a half-executed plan —
+        every journaled decision is either fully reflected in the persisted
+        stores or not yet decided.  Drain and lock acquisition loop until
+        the scheduler is idle *while the GC lock is held*: a round submitted
+        by a concurrently committing query between the drain and the lock
+        would otherwise race its store/index phases against the reads below.
+        Once the lock is held with an idle scheduler, no new round can be
+        submitted (submission happens in the commit stage, under this lock).
         """
-        with self._gc_lock:
-            entries = list(self._cache_store)
-            window_entries = self._window_store.entries()
-            stats = [
-                self._statistics.snapshot(entry.serial)
-                for entry in entries + window_entries
-            ]
-            return (
-                entries,
-                stats,
-                window_entries,
-                self.current_serial,
-                self._engine.state_record(),
-            )
+        while True:
+            self.drain_maintenance()
+            with self._gc_lock:
+                if not self._scheduler.idle():
+                    continue  # a round slipped in before we took the lock
+                entries = list(self._cache_store)
+                window_entries = self._window_store.entries()
+                stats = [
+                    self._statistics.snapshot(entry.serial)
+                    for entry in entries + window_entries
+                ]
+                return (
+                    entries,
+                    stats,
+                    window_entries,
+                    self.current_serial,
+                    self._engine.state_record(),
+                )
 
     def restore(
         self,
@@ -573,24 +626,42 @@ class GraphCache:
         """
         entries = list(entries)
         window_entries = sorted(window_entries, key=lambda entry: entry.serial)
-        with self._gc_lock:
-            self._cache_store.replace_contents(entries)
-            self._index.rebuild((entry.serial, entry.query) for entry in entries)
-            self._window_store.drain()  # discard any pre-existing window contents
-            for entry in window_entries:
-                self._window_store.add(entry)
-            for snapshot in stats:
-                self._statistics.register_query(snapshot)
-            self._engine.rebuild_scores()
-            self._engine.restore_state(maintenance)
-            restored_serials = [entry.serial for entry in entries] + [
-                entry.serial for entry in window_entries
-            ]
-            with self._serial_lock:
-                self._serial = max([next_serial] + restored_serials)
+        # Quiesce maintenance before swapping state in: drain, then verify
+        # *under the same GC lock hold that performs the swap* that no round
+        # slipped in meanwhile (same loop as snapshot_state — an in-flight
+        # apply landing on the freshly restored stores would corrupt them).
+        while True:
+            self.drain_maintenance()
+            with self._gc_lock:
+                if not self._scheduler.idle():
+                    continue  # a round slipped in before we took the lock
+                self._cache_store.replace_contents(entries)
+                self._index.rebuild(
+                    (entry.serial, entry.query) for entry in entries
+                )
+                self._window_store.drain()  # discard pre-existing window contents
+                for entry in window_entries:
+                    self._window_store.add(entry)
+                for snapshot in stats:
+                    self._statistics.register_query(snapshot)
+                self._engine.rebuild_scores()
+                self._engine.restore_state(maintenance)
+                restored_serials = [entry.serial for entry in entries] + [
+                    entry.serial for entry in window_entries
+                ]
+                with self._serial_lock:
+                    self._serial = max([next_serial] + restored_serials)
+                return
 
     def close(self) -> None:
-        """Release pipeline and data-layer resources (thread pool, backends)."""
+        """Release pipeline and data-layer resources (thread pool, backends).
+
+        **Drain-on-close**: the maintenance scheduler finishes every pending
+        round (applying and journaling its plan) before the worker stops and
+        the backends shut down — a closed cache never leaves a drained
+        window undecided.
+        """
+        self._scheduler.close()
         self._pipeline.close()
         self._cache_store.close()
         self._window_store.close()

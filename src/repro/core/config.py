@@ -16,6 +16,9 @@ from ..exceptions import CacheError
 
 __all__ = ["GraphCacheConfig", "QueryMode"]
 
+#: Sentinel distinguishing "argument omitted" from an explicit ``None``.
+_UNSET = object()
+
 #: Valid query modes: GraphCache serves subgraph queries (dataset graphs that
 #: contain the query) or supergraph queries (dataset graphs contained in it).
 QueryMode = str
@@ -25,6 +28,7 @@ _VALID_POLICIES = ("lru", "pop", "pin", "pinc", "hd")
 _VALID_ADMISSION_KINDS = ("threshold", "adaptive")
 _VALID_EXECUTION_MODES = ("serial", "parallel")
 _VALID_BACKENDS = ("memory", "sqlite")
+_VALID_MAINTENANCE_MODES = ("sync", "background", "barrier")
 
 
 @dataclass(frozen=True)
@@ -89,6 +93,19 @@ class GraphCacheConfig:
         :class:`~repro.core.sharding.ShardedGraphCache` splits the cache
         into.  ``1`` (default) means an unsharded cache; plain
         :class:`~repro.core.cache.GraphCache` ignores this field.
+    maintenance_mode:
+        Where cache-update rounds execute (see
+        :mod:`repro.core.policies.scheduler`): ``"sync"`` (inline on the
+        committing thread, default), ``"background"`` (on a worker thread,
+        off the query path — the paper's separate maintenance thread) or
+        ``"barrier"`` (worker thread + completion barrier; the deterministic
+        test mode whose plan stream is byte-identical to ``sync``).
+    journal_path:
+        Optional file receiving the append-only maintenance plan journal
+        (one JSON line per applied
+        :class:`~repro.core.policies.plan.MaintenancePlan`).  ``None`` keeps
+        the journal in memory only.  Sharded caches derive one file per
+        shard from this path, like ``backend_path``.
     """
 
     cache_capacity: int = 100
@@ -107,6 +124,8 @@ class GraphCacheConfig:
     backend: str = "memory"
     backend_path: Optional[str] = None
     shards: int = 1
+    maintenance_mode: str = "sync"
+    journal_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.cache_capacity <= 0:
@@ -149,6 +168,11 @@ class GraphCacheConfig:
             raise CacheError("backend_path is only meaningful with backend='sqlite'")
         if self.shards < 1:
             raise CacheError("shards must be >= 1")
+        if self.maintenance_mode.lower() not in _VALID_MAINTENANCE_MODES:
+            raise CacheError(
+                f"unknown maintenance mode {self.maintenance_mode!r}; "
+                f"valid modes: {', '.join(_VALID_MAINTENANCE_MODES)}"
+            )
 
     # ------------------------------------------------------------------ #
     def with_policy(self, policy: str) -> "GraphCacheConfig":
@@ -192,6 +216,21 @@ class GraphCacheConfig:
         """Return a copy with a different shard count."""
         return replace(self, shards=shards)
 
+    def with_maintenance_mode(
+        self, maintenance_mode: str, journal_path: object = _UNSET
+    ) -> "GraphCacheConfig":
+        """Return a copy using a different maintenance scheduler.
+
+        ``journal_path`` is changed only when passed (pass ``None``
+        explicitly to drop a configured journal) — switching the mode never
+        silently discards the journal location.
+        """
+        if journal_path is _UNSET:
+            journal_path = self.journal_path
+        return replace(
+            self, maintenance_mode=maintenance_mode, journal_path=journal_path
+        )
+
     def label(self) -> str:
         """Short label like ``c100-b20`` used in the paper's figures.
 
@@ -203,4 +242,6 @@ class GraphCacheConfig:
             label += f"-s{self.shards}"
         if self.backend.lower() != "memory":
             label += f"-{self.backend.lower()}"
+        if self.maintenance_mode.lower() != "sync":
+            label += f"-{self.maintenance_mode.lower()}"
         return label

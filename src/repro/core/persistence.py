@@ -40,6 +40,7 @@ rebuilt through the same code path the engine's delta apply uses.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Dict, Union
@@ -162,12 +163,25 @@ def load_cache(
     """
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     version = payload.get("format_version")
+    if version not in (1, 2, _FORMAT_VERSION):
+        raise CacheError(f"unsupported cache snapshot version {version!r}")
+    if version in (1, 2):
+        # Pre-v3 snapshots carry no maintenance record: the admission
+        # controller's calibration scores and the adaptive controller's
+        # hill-climb state cannot be restored.  Say so once, explicitly —
+        # the silent cold reset used to masquerade as a full restore.
+        warnings.warn(
+            f"cache snapshot {Path(path)} uses format v{version}: admission "
+            "calibration and adaptive hill-climb state are not persisted in "
+            "this format and restart cold (re-save with save_cache to "
+            "upgrade to v3)",
+            UserWarning,
+            stacklevel=2,
+        )
     if version == 1:
         payload = _migrate_v1(payload)
-    elif version not in (2, _FORMAT_VERSION):
-        # v2 is the v3 shape minus the per-shard maintenance record; the
-        # shard restore treats the missing record as cold admission state.
-        raise CacheError(f"unsupported cache snapshot version {version!r}")
+    # v2 is the v3 shape minus the per-shard maintenance record; the shard
+    # restore treats the missing record as cold admission state.
     if payload["dataset_size"] != len(method.dataset):
         raise CacheError(
             f"snapshot was taken against a dataset of {payload['dataset_size']} graphs, "

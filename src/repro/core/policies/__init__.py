@@ -16,8 +16,13 @@ it behind two registries and one engine:
 * :mod:`~repro.core.policies.engine` — :class:`MaintenanceEngine`, the
   decide/apply split: a pure, serializable :class:`MaintenancePlan` per
   round, applied as O(window) row-level deltas;
+* :mod:`~repro.core.policies.scheduler` — the maintenance schedulers
+  (``sync``/``background``/``barrier``): *where* rounds execute, taking
+  maintenance off the query path;
+* :mod:`~repro.core.policies.journal` — the append-only
+  :class:`PlanJournal` of applied plans (audit log / replication feed);
 * :mod:`~repro.core.policies.window` — the Window Manager, now a thin
-  batching front end over the engine.
+  batching front end over the scheduler.
 
 The seed modules (``repro.core.window``, ``repro.core.admission``,
 ``repro.core.adaptive_admission``, ``repro.core.replacement``) remain as
@@ -30,6 +35,7 @@ from .adaptive import AdaptiveAdmissionController
 from .admission import AdmissionController
 from .engine import MaintenanceEngine
 from .heap import SelectionOutcome, UtilityHeap
+from .journal import PlanJournal
 from .plan import MaintenancePlan, MaintenanceReport
 from .registry import (
     admission_by_name,
@@ -47,16 +53,32 @@ from .replacement import (
     policy_by_name,
     squared_coefficient_of_variation,
 )
+from .scheduler import (
+    SCHEDULER_MODES,
+    BackgroundMaintenanceScheduler,
+    BarrierMaintenanceScheduler,
+    MaintenanceScheduler,
+    SchedulerCounters,
+    SyncMaintenanceScheduler,
+    create_scheduler,
+)
 from .window import WindowManager
 
 __all__ = [
+    "SCHEDULER_MODES",
     "AdaptiveAdmissionController",
     "AdmissionController",
+    "BackgroundMaintenanceScheduler",
+    "BarrierMaintenanceScheduler",
     "HybridPolicy",
     "LRUPolicy",
     "MaintenanceEngine",
     "MaintenancePlan",
     "MaintenanceReport",
+    "MaintenanceScheduler",
+    "PlanJournal",
+    "SchedulerCounters",
+    "SyncMaintenanceScheduler",
     "PINCPolicy",
     "PINPolicy",
     "POPPolicy",
@@ -67,6 +89,7 @@ __all__ = [
     "admission_by_name",
     "admission_from_record",
     "available_admission_controllers",
+    "create_scheduler",
     "available_policies",
     "policy_by_name",
     "squared_coefficient_of_variation",

@@ -27,7 +27,9 @@ benchmark's correctness harness.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+import threading
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..statistics import StatisticsManager
 from ..stores import CacheEntry, CacheStore, WindowEntry
@@ -90,8 +92,18 @@ class MaintenanceEngine:
         #: ``(current_serial, heap_victims, oracle_victims)`` triples for
         #: every cross-checked round that diverged (empty = proven identical).
         self.oracle_mismatches: List[Tuple[int, Tuple[int, ...], Tuple[int, ...]]] = []
+        #: Test hook: when set, :meth:`apply` invokes it with the plan while
+        #: the round's GCindex batch is still *unpublished* — a "held apply".
+        #: The concurrency tests park the background worker here to prove
+        #: that lookups served meanwhile read the previous index snapshot.
+        self.apply_hold_hook: Optional[Callable[[MaintenancePlan], None]] = None
 
     # ------------------------------------------------------------------ #
+    @property
+    def cache_store(self) -> CacheStore:
+        """The cache store this engine maintains (exposed for the scheduler)."""
+        return self._cache_store
+
     @property
     def policy(self) -> ReplacementPolicy:
         """The replacement policy in use."""
@@ -169,13 +181,31 @@ class MaintenanceEngine:
     # Apply: plan -> row-level deltas.
     # ------------------------------------------------------------------ #
     def apply(
-        self, plan: MaintenancePlan, window_entries: Sequence[WindowEntry]
+        self,
+        plan: MaintenancePlan,
+        window_entries: Sequence[WindowEntry],
+        lock: Optional[threading.RLock] = None,
     ) -> Tuple[int, int]:
         """Execute a plan against the stores, the index and the heap.
 
         Returns ``(index_ops, backend_row_ops)`` — the mutation counts this
         apply performed, measured from the index/backend op counters; both
         are bounded by the window size, never the cache size.
+
+        The apply is phased so a background scheduler can run it while
+        queries are being served:
+
+        1. the **store delta** executes atomically under the store's own
+           lock (readers see pre- or post-delta, never a torn mix);
+        2. the **GCindex delta** runs as one
+           :meth:`~repro.core.query_index.QueryGraphIndex.batch` — lookups
+           keep reading the previously published snapshot and never block;
+        3. the **heap/statistics delta** runs under ``lock`` (the cache's
+           GC lock) because the commit path mutates the same structures on
+           every hit — this is the only section that can briefly hold up a
+           committing query.  ``None`` skips the locking (single-threaded
+           callers, or a barrier scheduler whose submitter already holds
+           the GC lock while it waits).
         """
         by_serial = {entry.serial: entry for entry in window_entries}
         additions = [
@@ -191,17 +221,23 @@ class MaintenanceEngine:
         rows_before = self._cache_store.backend.op_counts.row_ops
 
         self._cache_store.apply_delta(additions, plan.evicted_serials)
-        for serial in plan.evicted_serials:
-            self._index.remove(serial)
-            self._heap.remove(serial)
-            self._statistics.forget_query(serial)
-        for entry in additions:
-            self._index.add(entry.serial, entry.query)
-            # Seed the heap from the statistics store (registered when the
-            # query joined the window), so both views start identical.
-            self._heap.add(self._statistics.snapshot(entry.serial))
-        for serial in plan.rejected_serials:
-            self._statistics.forget_query(serial)
+        with self._index.batch():
+            for serial in plan.evicted_serials:
+                self._index.remove(serial)
+            for entry in additions:
+                self._index.add(entry.serial, entry.query)
+            if self.apply_hold_hook is not None:
+                self.apply_hold_hook(plan)
+        with lock if lock is not None else nullcontext():
+            for serial in plan.evicted_serials:
+                self._heap.remove(serial)
+                self._statistics.forget_query(serial)
+            for entry in additions:
+                # Seed the heap from the statistics store (registered when
+                # the query joined the window), so both views start identical.
+                self._heap.add(self._statistics.snapshot(entry.serial))
+            for serial in plan.rejected_serials:
+                self._statistics.forget_query(serial)
 
         return (
             self._index.op_counts.incremental_ops - index_before,
@@ -209,7 +245,10 @@ class MaintenanceEngine:
         )
 
     def run(
-        self, window_entries: Sequence[WindowEntry], current_serial: int
+        self,
+        window_entries: Sequence[WindowEntry],
+        current_serial: int,
+        lock: Optional[threading.RLock] = None,
     ) -> Tuple[MaintenancePlan, int, int]:
         """Decide and apply one round; returns the plan and the apply ops.
 
@@ -217,14 +256,20 @@ class MaintenanceEngine:
         per-query estimated cost saving (accumulated by :meth:`on_hit`) as
         its hill-climb feedback, so ``admission_kind="adaptive"`` tunes its
         threshold live instead of waiting for an external monitoring loop.
+        ``lock`` is threaded through to :meth:`apply` (and guards the
+        adaptive feedback, which reads the hit-accumulated saving).
         """
         plan = self.decide(window_entries, current_serial)
-        index_ops, backend_row_ops = self.apply(plan, window_entries)
-        if isinstance(self._admission, AdaptiveAdmissionController) and window_entries:
-            self._admission.record_window_saving(
-                self._window_cost_saving / len(window_entries)
-            )
-        self._window_cost_saving = 0.0
+        index_ops, backend_row_ops = self.apply(plan, window_entries, lock=lock)
+        with lock if lock is not None else nullcontext():
+            if (
+                isinstance(self._admission, AdaptiveAdmissionController)
+                and window_entries
+            ):
+                self._admission.record_window_saving(
+                    self._window_cost_saving / len(window_entries)
+                )
+            self._window_cost_saving = 0.0
         return plan, index_ops, backend_row_ops
 
     # ------------------------------------------------------------------ #

@@ -35,6 +35,7 @@ order mutation for mutation.
 from __future__ import annotations
 
 import heapq
+import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ...exceptions import CacheError
@@ -95,6 +96,11 @@ class UtilityHeap:
         self._heap: List[Tuple[Tuple[float, int], int, int]] = []
         self._stamps: Dict[int, int] = {}
         self._counter = 0
+        # Background scheduling runs victim selection (decide) on a worker
+        # thread while the commit path keeps feeding per-hit updates; every
+        # public method holds this lock so the heap's state and the lazy
+        # heap array are never read and mutated concurrently.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     @property
@@ -103,18 +109,22 @@ class UtilityHeap:
         return self._policy
 
     def __len__(self) -> int:
-        return len(self._stats)
+        with self._lock:
+            return len(self._stats)
 
     def __contains__(self, serial: int) -> bool:
-        return serial in self._stats
+        with self._lock:
+            return serial in self._stats
 
     def entries(self) -> List[CachedQueryStats]:
         """The maintained statistics, in cache-store insertion order."""
-        return list(self._stats.values())
+        with self._lock:
+            return list(self._stats.values())
 
     def stats(self, serial: int) -> CachedQueryStats:
         """The maintained statistics of one cached entry."""
-        return self._stats[serial]
+        with self._lock:
+            return self._stats[serial]
 
     # ------------------------------------------------------------------ #
     def _push(self, serial: int) -> None:
@@ -128,23 +138,26 @@ class UtilityHeap:
 
     def add(self, stats: CachedQueryStats) -> None:
         """Start tracking a newly admitted entry (O(log n))."""
-        if stats.serial in self._stats:
-            raise CacheError(f"query {stats.serial} is already scored")
-        self._stats[stats.serial] = stats
-        self._push(stats.serial)
+        with self._lock:
+            if stats.serial in self._stats:
+                raise CacheError(f"query {stats.serial} is already scored")
+            self._stats[stats.serial] = stats
+            self._push(stats.serial)
 
     def remove(self, serial: int) -> None:
         """Stop tracking an evicted entry (lazy: heap items expire on pop)."""
-        self._stats.pop(serial, None)
-        self._stamps.pop(serial, None)
+        with self._lock:
+            self._stats.pop(serial, None)
+            self._stamps.pop(serial, None)
 
     def rebuild(self, snapshots: Iterable[CachedQueryStats]) -> None:
         """Reset the tracked population (cache restore / warm start)."""
-        self._stats = {}
-        self._heap = []
-        self._stamps = {}
-        for stats in snapshots:
-            self.add(stats)
+        with self._lock:
+            self._stats = {}
+            self._heap = []
+            self._stamps = {}
+            for stats in snapshots:
+                self.add(stats)
 
     def record_hit(
         self,
@@ -160,18 +173,19 @@ class UtilityHeap:
         increment for increment, so the maintained values never drift from
         the statistics store.
         """
-        stats = self._stats.get(serial)
-        if stats is None:
-            return
-        stats.hits += 1
-        if special:
-            stats.special_hits += 1
-        stats.last_hit_serial = benefiting_serial
-        if cs_reduction:
-            stats.cs_reduction += cs_reduction
-        if cost_reduction:
-            stats.cost_reduction += cost_reduction
-        self._push(serial)
+        with self._lock:
+            stats = self._stats.get(serial)
+            if stats is None:
+                return
+            stats.hits += 1
+            if special:
+                stats.special_hits += 1
+            stats.last_hit_serial = benefiting_serial
+            if cs_reduction:
+                stats.cs_reduction += cs_reduction
+            if cost_reduction:
+                stats.cost_reduction += cost_reduction
+            self._push(serial)
 
     # ------------------------------------------------------------------ #
     def select_victims(self, evict_count: int, current_serial: int) -> SelectionOutcome:
@@ -181,38 +195,42 @@ class UtilityHeap:
         (``policy.select_victims`` over fresh snapshots), selected without
         touching the statistics store.
         """
-        if evict_count < 0:
-            raise CacheError("evict_count must be non-negative")
-        if evict_count > len(self._stats):
-            raise CacheError(
-                f"cannot evict {evict_count} entries from a cache of {len(self._stats)}"
+        with self._lock:
+            if evict_count < 0:
+                raise CacheError("evict_count must be non-negative")
+            if evict_count > len(self._stats):
+                raise CacheError(
+                    f"cannot evict {evict_count} entries from a cache of {len(self._stats)}"
+                )
+            delegate: Optional[ReplacementPolicy] = None
+            scorer = self._policy
+            if isinstance(self._policy, HybridPolicy):
+                # Same population, same order as the oracle's snapshot list.
+                delegate = self._policy.choose(self.entries())
+                scorer = delegate
+            if evict_count == 0:
+                victims: List[Tuple[int, float]] = []
+            elif scorer.age_normalized:
+                ranked = heapq.nsmallest(
+                    evict_count,
+                    self._stats.values(),
+                    key=lambda stats: (
+                        scorer.utility(stats, current_serial),
+                        stats.serial,
+                    ),
+                )
+                victims = [
+                    (stats.serial, scorer.utility(stats, current_serial))
+                    for stats in ranked
+                ]
+            else:
+                victims = self._pop_lazy(evict_count)
+            return SelectionOutcome(
+                victims=tuple(serial for serial, _ in victims),
+                policy=self._policy.name,
+                delegate=None if delegate is None else delegate.name,
+                victim_utilities=tuple(victims),
             )
-        delegate: Optional[ReplacementPolicy] = None
-        scorer = self._policy
-        if isinstance(self._policy, HybridPolicy):
-            # Same population, same order as the oracle's snapshot list.
-            delegate = self._policy.choose(self.entries())
-            scorer = delegate
-        if evict_count == 0:
-            victims: List[Tuple[int, float]] = []
-        elif scorer.age_normalized:
-            ranked = heapq.nsmallest(
-                evict_count,
-                self._stats.values(),
-                key=lambda stats: (scorer.utility(stats, current_serial), stats.serial),
-            )
-            victims = [
-                (stats.serial, scorer.utility(stats, current_serial))
-                for stats in ranked
-            ]
-        else:
-            victims = self._pop_lazy(evict_count)
-        return SelectionOutcome(
-            victims=tuple(serial for serial, _ in victims),
-            policy=self._policy.name,
-            delegate=None if delegate is None else delegate.name,
-            victim_utilities=tuple(victims),
-        )
 
     def _pop_lazy(self, evict_count: int) -> List[Tuple[int, float]]:
         """Lazy-heap selection for recency policies (keys never decay).

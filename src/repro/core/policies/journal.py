@@ -1,0 +1,129 @@
+"""Append-only journal of applied maintenance plans.
+
+Every cache-update round the scheduler executes appends the round's
+:class:`~repro.core.policies.plan.MaintenancePlan` — as its
+:meth:`~repro.core.policies.plan.MaintenancePlan.to_record` dictionary — to a
+:class:`PlanJournal`.  The journal is the durable, ordered decision stream of
+one cache (one journal per shard for a sharded cache):
+
+* **audit log** — each record carries the complete rationale of one round
+  (admitted/rejected/evicted serials, policy, HD delegate, admission
+  threshold, per-victim utilities), so ``graphcache maintenance`` can explain
+  any admission or eviction after the fact;
+* **replication feed** — the decide/apply split makes a plan mechanically
+  applicable, so shipping the record stream to a replica replays the
+  primary's cache evolution without re-deciding anything;
+* **equivalence evidence** — :meth:`dumps` renders the stream in a canonical
+  byte form (sorted-key JSON lines), which is what the scheduler benchmarks
+  compare to prove ``barrier`` scheduling produces a byte-identical plan
+  stream to ``sync``.
+
+When constructed with a ``path`` the journal is also written through to disk
+as JSON lines, one record per line, append-only (the file is opened in append
+mode per record, so a crash can lose at most the round being written and
+never corrupts earlier records).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Union
+
+from .plan import MaintenancePlan
+
+__all__ = ["PlanJournal"]
+
+PathLike = Union[str, Path]
+
+
+def _canonical_line(record: Dict[str, Any]) -> str:
+    """One canonical JSON line per record (sorted keys, compact separators)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class PlanJournal:
+    """In-memory (and optionally on-disk) append-only stream of plan records.
+
+    Parameters
+    ----------
+    path:
+        Optional file to write the stream through to, one JSON line per
+        applied plan.  ``None`` keeps the journal in memory only.
+
+    Memory bound: an in-memory-only journal (``path=None``) retains every
+    record — it *is* the store.  A file-backed journal retains only the most
+    recent :data:`MEMORY_LIMIT` records in RAM (the full stream lives on
+    disk; use :meth:`load` to read it back), so a long-running service's
+    audit log does not grow the process without bound.
+    """
+
+    #: In-memory records retained by a *file-backed* journal (newest kept).
+    MEMORY_LIMIT = 4096
+
+    def __init__(self, path: Optional[PathLike] = None) -> None:
+        self._path = None if path is None else Path(path)
+        self._count = 0
+        self._records: Deque[Dict[str, Any]] = deque(
+            maxlen=self.MEMORY_LIMIT if self._path is not None else None
+        )
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> Optional[Path]:
+        """The backing file, or ``None`` for an in-memory journal."""
+        return self._path
+
+    def __len__(self) -> int:
+        """Total number of plans ever appended (not the retained tail)."""
+        with self._lock:
+            return self._count
+
+    def append(self, plan: MaintenancePlan) -> None:
+        """Append one applied plan (and write it through, if file-backed)."""
+        record = plan.to_record()
+        line = _canonical_line(record)
+        with self._lock:
+            self._count += 1
+            self._records.append(record)
+            if self._path is not None:
+                with self._path.open("a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+
+    def records(self) -> List[Dict[str, Any]]:
+        """The retained plan records, in application order.
+
+        Complete for in-memory journals; the most recent
+        :data:`MEMORY_LIMIT` for file-backed ones (read the file via
+        :meth:`load` for the full stream).
+        """
+        with self._lock:
+            return list(self._records)
+
+    def plans(self) -> List[MaintenancePlan]:
+        """The retained plans, rebuilt from their records."""
+        return [MaintenancePlan.from_record(record) for record in self.records()]
+
+    def dumps(self) -> str:
+        """Canonical byte stream of the retained records (sorted-key JSON
+        lines).
+
+        Two schedulers that made identical decisions produce identical
+        strings — the byte-identity the ``barrier``-vs-``sync`` benchmark
+        asserts (in-memory journals retain the whole stream).
+        """
+        return "\n".join(_canonical_line(record) for record in self.records())
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def load(path: PathLike) -> List[MaintenancePlan]:
+        """Read a journal file back into plans (skipping blank lines)."""
+        plans: List[MaintenancePlan] = []
+        for line in Path(path).read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if line:
+                plans.append(MaintenancePlan.from_record(json.loads(line)))
+        return plans

@@ -2,27 +2,35 @@
 
 New queries are not inserted into the cache one by one.  They accumulate in
 the Window; when the Window is full, the Window Manager drains it and hands
-it to the :class:`~repro.core.policies.engine.MaintenanceEngine`, which
+the batch to a :class:`~repro.core.policies.scheduler.MaintenanceScheduler`,
+which decides *where* the round executes:
 
-1. runs the admission controller over the window queries (cache pollution
+* ``sync`` — inline on the committing thread (the seed's behaviour);
+* ``background`` — on a worker thread, off the query path (the paper's
+  separate maintenance thread): decide runs free of the GC lock, apply runs
+  phased so lookups keep reading the published GCindex snapshot;
+* ``barrier`` — on the worker thread, but the committing query waits: the
+  deterministic test mode whose plan stream is byte-identical to ``sync``.
+
+Each round runs the engine's decide/apply split:
+
+1. the admission controller filters the window queries (cache pollution
    avoidance),
-2. asks the replacement policy — via the incremental utility heap — for the
+2. the replacement policy — via the incremental utility heap — selects the
    victims needed to make room,
-3. applies the resulting :class:`~repro.core.policies.plan.MaintenancePlan`
-   as row-level deltas to the cache store, the GCindex and the heap,
-4. removes the statistics of evicted and rejected queries.
+3. the resulting :class:`~repro.core.policies.plan.MaintenancePlan` is
+   applied as row-level deltas to the cache store, the GCindex and the heap,
+   and appended to the scheduler's plan journal,
+4. the statistics of evicted and rejected queries are removed.
 
-In the paper this happens on a separate thread while queries keep being
-served by the old index; in this reproduction the maintenance work is
-executed synchronously but its wall-clock cost is accounted separately (it
-is the "overhead" series of Figure 10) and not charged to query response
-time.  Since the engine refactor each round performs O(window) index and
-backend mutations — the per-round op counters on the report prove it.
+The window *drain* always happens on the commit path (so the window store
+can never overflow); only decide/apply move off it.  Maintenance wall-clock
+cost is accounted separately (the "overhead" series of Figure 10) and not
+charged to query response time.
 """
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING, List, Optional
 
 from ..statistics import CachedQueryStats, StatisticsManager
@@ -31,6 +39,7 @@ from .admission import AdmissionController
 from .engine import MaintenanceEngine
 from .plan import MaintenanceReport
 from .replacement import ReplacementPolicy
+from .scheduler import MaintenanceScheduler, SyncMaintenanceScheduler
 
 if TYPE_CHECKING:  # pragma: no cover - type-only (see the ftv/methods
     # import-cycle note in repro.core.policies.engine)
@@ -40,12 +49,14 @@ __all__ = ["WindowManager"]
 
 
 class WindowManager:
-    """Feeds the Window and triggers the maintenance engine when it fills.
+    """Feeds the Window and submits maintenance rounds when it fills.
 
     Either pass a ready-made ``engine`` or the parts to build one from
     (``index``, ``policy`` and optionally ``admission``) — the seed's
     constructor signature, kept so existing callers and tests work
-    unchanged.
+    unchanged.  ``scheduler`` selects where rounds execute; omitting it
+    yields a :class:`~repro.core.policies.scheduler.SyncMaintenanceScheduler`
+    over the engine (the seed's inline behaviour).
     """
 
     def __init__(
@@ -57,7 +68,10 @@ class WindowManager:
         policy: Optional[ReplacementPolicy] = None,
         admission: Optional[AdmissionController] = None,
         engine: Optional[MaintenanceEngine] = None,
+        scheduler: Optional[MaintenanceScheduler] = None,
     ) -> None:
+        if engine is None and scheduler is not None:
+            engine = scheduler.engine
         if engine is None:
             if index is None or policy is None:
                 raise ValueError(
@@ -70,12 +84,13 @@ class WindowManager:
                 policy=policy,
                 admission=admission,
             )
+        if scheduler is None:
+            scheduler = SyncMaintenanceScheduler(engine)
         self._engine = engine
+        self._scheduler = scheduler
         self._cache_store = cache_store
         self._window_store = window_store
         self._statistics = statistics
-        self._reports: List[MaintenanceReport] = []
-        self._total_maintenance_s = 0.0
 
     # ------------------------------------------------------------------ #
     @property
@@ -84,14 +99,19 @@ class WindowManager:
         return self._engine
 
     @property
+    def scheduler(self) -> MaintenanceScheduler:
+        """The scheduler deciding where maintenance rounds execute."""
+        return self._scheduler
+
+    @property
     def reports(self) -> List[MaintenanceReport]:
-        """Reports of every cache-update round so far."""
-        return list(self._reports)
+        """Reports of every completed cache-update round so far."""
+        return self._scheduler.reports
 
     @property
     def total_maintenance_s(self) -> float:
         """Cumulative wall-clock time spent on cache maintenance."""
-        return self._total_maintenance_s
+        return self._scheduler.total_maintenance_s
 
     @property
     def policy(self) -> ReplacementPolicy:
@@ -109,7 +129,12 @@ class WindowManager:
 
     # ------------------------------------------------------------------ #
     def add_query(self, entry: WindowEntry) -> Optional[MaintenanceReport]:
-        """Add a processed query to the Window; run maintenance if it filled up."""
+        """Add a processed query to the Window; submit maintenance if it filled.
+
+        Returns the round's report when the scheduler completed it before
+        returning (``sync``/``barrier``); ``None`` when nothing was due or a
+        background round is still in flight.
+        """
         self._window_store.add(entry)
         # Window queries get their static statistics recorded immediately so
         # that, if admitted, their history starts at first execution.
@@ -128,25 +153,16 @@ class WindowManager:
         return None
 
     # ------------------------------------------------------------------ #
-    def run_maintenance(self, current_serial: int) -> MaintenanceReport:
-        """Drain the window and run one decide/apply round through the engine."""
-        started = time.perf_counter()
+    def run_maintenance(self, current_serial: int) -> Optional[MaintenanceReport]:
+        """Drain the window and submit one round to the scheduler.
+
+        The drain itself stays on the calling thread (the window store can
+        never overflow while a round is pending); the scheduler decides
+        whether decide/apply run inline, behind a barrier, or asynchronously
+        (in which case ``None`` is returned and the report appears in
+        :attr:`reports` once applied).
+        """
         window_entries = self._window_store.drain()
-        plan, index_ops, backend_row_ops = self._engine.run(
-            window_entries, current_serial
-        )
-        elapsed = time.perf_counter() - started
-        self._total_maintenance_s += elapsed
-        report = MaintenanceReport(
-            window_queries=len(window_entries),
-            admitted_serials=plan.admitted_serials,
-            rejected_serials=plan.rejected_serials,
-            evicted_serials=plan.evicted_serials,
-            cache_size_after=len(self._cache_store),
-            elapsed_s=elapsed,
-            index_ops=index_ops,
-            backend_row_ops=backend_row_ops,
-            plan=plan,
-        )
-        self._reports.append(report)
-        return report
+        if not window_entries:
+            return None
+        return self._scheduler.submit(window_entries, current_serial)

@@ -162,21 +162,32 @@ class CacheProcessors:
 
     # ------------------------------------------------------------------ #
     def process(self, query: Graph) -> ProcessorOutcome:
-        """Run both processors for ``query`` against the current GCindex."""
+        """Run both processors for ``query`` against the current GCindex.
+
+        The whole pass pins **one** published index snapshot
+        (:meth:`~repro.core.query_index.QueryGraphIndex.view`), so a
+        maintenance apply publishing mid-query can never make a candidate's
+        graph disappear between filtering and confirmation — lookups always
+        read a complete, point-in-time view of the cached queries.
+        """
+        with self._index.view() as snapshot:
+            return self._process_on(snapshot, query)
+
+    def _process_on(self, snapshot, query: Graph) -> ProcessorOutcome:
         started = time.perf_counter()
         tests = 0
         memo_hits = 0
 
         features = self._index.query_features(query)
-        sub_candidates = self._index.candidate_supergraphs(query, features)
+        sub_candidates = snapshot.candidate_supergraphs(query, features)
 
         # Fast path: an isomorphic cached query (same vertex and edge counts,
         # containment in one direction) yields the greatest possible gain and
         # makes every other containment check unnecessary (§5.1, special case 1).
         for serial in sorted(sub_candidates):
-            if not self._same_shape(query, serial):
+            if not self._same_shape(snapshot, query, serial):
                 continue
-            cached_query = self._index.graph(serial)
+            cached_query = snapshot.graph(serial)
             verdict, from_memo = self._contains(query, cached_query)
             tests += not from_memo
             memo_hits += from_memo
@@ -194,9 +205,9 @@ class CacheProcessors:
         # GCsub processor: cached queries that may contain the new query.
         result_sub: set = set()
         for serial in sub_candidates:
-            if self._same_shape(query, serial):
+            if self._same_shape(snapshot, query, serial):
                 continue  # already checked in the exact-match fast path
-            cached_query = self._index.graph(serial)
+            cached_query = snapshot.graph(serial)
             verdict, from_memo = self._contains(query, cached_query)
             tests += not from_memo
             memo_hits += from_memo
@@ -205,21 +216,21 @@ class CacheProcessors:
 
         # GCsuper processor: cached queries that may be contained in the query.
         result_super: set = set()
-        for serial in self._index.candidate_subgraphs(query, features):
-            if serial in result_sub and self._same_shape(query, serial):
+        for serial in snapshot.candidate_subgraphs(query, features):
+            if serial in result_sub and self._same_shape(snapshot, query, serial):
                 # Already confirmed in the other direction with equal size:
                 # containment plus equal vertex/edge counts implies isomorphism,
                 # no need for a second sub-iso test.
                 result_super.add(serial)
                 continue
-            cached_query = self._index.graph(serial)
+            cached_query = snapshot.graph(serial)
             verdict, from_memo = self._contains(cached_query, query)
             tests += not from_memo
             memo_hits += from_memo
             if verdict:
                 result_super.add(serial)
 
-        exact = self._find_exact_match(query, result_sub, result_super)
+        exact = self._find_exact_match(snapshot, query, result_sub, result_super)
         elapsed = time.perf_counter() - started
         return ProcessorOutcome(
             result_sub=frozenset(result_sub),
@@ -231,12 +242,14 @@ class CacheProcessors:
         )
 
     # ------------------------------------------------------------------ #
-    def _same_shape(self, query: Graph, serial: int) -> bool:
-        cached_query = self._index.graph(serial)
+    @staticmethod
+    def _same_shape(snapshot, query: Graph, serial: int) -> bool:
+        cached_query = snapshot.graph(serial)
         return cached_query.order == query.order and cached_query.size == query.size
 
     def _find_exact_match(
         self,
+        snapshot,
         query: Graph,
         result_sub: FrozenSet[int],
         result_super: FrozenSet[int],
@@ -247,6 +260,6 @@ class CacheProcessors:
         together with equal vertex and edge counts implies isomorphism.
         """
         for serial in sorted(result_sub | result_super):
-            if self._same_shape(query, serial):
+            if self._same_shape(snapshot, query, serial):
                 return serial
         return None

@@ -21,12 +21,38 @@ both directions:
 
 Both filters are *necessary-condition* filters: surviving candidates are then
 confirmed with an actual sub-iso test by the GC processors.
+
+Double-buffered reads
+---------------------
+With ``double_buffered=True`` the index keeps **two** complete copies of its
+structures.  Readers always work against the *published* copy through a
+reference-counted :class:`IndexView`; writers mutate the standby copy,
+atomically publish it (bumping :attr:`version`), wait for the old copy's
+readers to drain, and replay the same ops onto it so both copies converge.
+Consequences:
+
+* lookups never block on an in-flight mutation — a query served while a
+  maintenance apply is still underway reads the previously published
+  snapshot, in full;
+* a :meth:`batch` groups a whole maintenance round's ``add``/``remove``
+  calls into **one** publication, so readers observe a cache-update round
+  atomically (never a half-applied window);
+* mutation cost stays O(ops): each logical op is applied once per copy
+  (``op_counts`` records logical ops, not per-copy applications).
+
+With ``double_buffered=False`` (what :class:`~repro.core.cache.GraphCache`
+selects under ``maintenance_mode="sync"``, where applies and lookups are
+already serialized by the GC lock, and what the shard router uses for its
+never-mutated feature extractor) a single copy is kept and views take the
+write lock — the pre-scheduler locking, without the second copy's memory
+or the twice-applied mutations.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import Counter
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
@@ -35,7 +61,7 @@ from ..ftv.trie import PathTrie
 from ..graphs.graph import Graph
 from ..graphs.signatures import could_be_subgraph
 
-__all__ = ["IndexOpCounts", "QueryGraphIndex"]
+__all__ = ["IndexOpCounts", "IndexView", "QueryGraphIndex"]
 
 
 @dataclass
@@ -46,7 +72,8 @@ class IndexOpCounts:
     re-insertions also land in ``adds``); ``rebuilds`` counts whole-index
     swaps.  The maintenance benchmark asserts on :attr:`incremental_ops`
     deltas to prove a cache-update round touches O(window) index entries,
-    not O(cache).
+    not O(cache).  Each logical op counts once even though the double
+    buffer applies it to both copies.
     """
 
     adds: int = 0
@@ -57,6 +84,98 @@ class IndexOpCounts:
     def incremental_ops(self) -> int:
         """Total per-query mutations (adds + removes)."""
         return self.adds + self.removes
+
+
+class _IndexBuffer:
+    """One complete copy of the index structures plus its reader count."""
+
+    __slots__ = ("trie", "features", "probes", "graphs", "readers")
+
+    def __init__(self) -> None:
+        self.trie = PathTrie()
+        self.features: Dict[int, Counter] = {}
+        self.probes: Dict[int, Tuple[Tuple[Tuple[str, ...], int], ...]] = {}
+        self.graphs: Dict[int, Graph] = {}
+        self.readers = 0
+
+
+class IndexView:
+    """A reference-counted read view over one published index snapshot.
+
+    Obtained from :meth:`QueryGraphIndex.view` (context manager) or
+    :meth:`QueryGraphIndex.acquire_view`; while held, the snapshot is
+    immutable — an in-flight maintenance apply publishes a *new* snapshot
+    and waits for this view to be released before reusing the buffer.
+    """
+
+    __slots__ = ("_index", "_buffer", "version")
+
+    def __init__(self, index: "QueryGraphIndex", buffer: _IndexBuffer, version: int) -> None:
+        self._index = index
+        self._buffer = buffer
+        #: Publication version of the snapshot this view reads.
+        self.version = version
+
+    # -- read API (mirrors the index's own read methods) ---------------- #
+    def __len__(self) -> int:
+        return len(self._buffer.graphs)
+
+    def __contains__(self, serial: int) -> bool:
+        return serial in self._buffer.graphs
+
+    def serials(self) -> List[int]:
+        """Serial numbers of every indexed query (insertion order)."""
+        return list(self._buffer.graphs)
+
+    def graph(self, serial: int) -> Graph:
+        """Return the indexed query graph with the given serial."""
+        return self._buffer.graphs[serial]
+
+    def candidate_supergraphs(
+        self, query: Graph, features: Optional[Counter] = None
+    ) -> FrozenSet[int]:
+        """Cached queries that *may contain* ``query`` (``Resultsub`` candidates)."""
+        buffer = self._buffer
+        if not buffer.graphs:
+            return frozenset()
+        if features is None:
+            features = self._index.query_features(query)
+        probe = dict(QueryGraphIndex._probe_of(features))
+        candidates = buffer.trie.filter(probe)
+        return frozenset(
+            serial
+            for serial in candidates
+            if could_be_subgraph(query, buffer.graphs[serial])
+        )
+
+    def candidate_subgraphs(
+        self, query: Graph, features: Optional[Counter] = None
+    ) -> FrozenSet[int]:
+        """Cached queries that *may be contained in* ``query`` (``Resultsuper`` candidates)."""
+        buffer = self._buffer
+        if not buffer.graphs:
+            return frozenset()
+        if features is None:
+            features = self._index.query_features(query)
+        survivors: List[int] = []
+        for serial, probe in buffer.probes.items():
+            cached_graph = buffer.graphs[serial]
+            if not could_be_subgraph(cached_graph, query):
+                continue
+            if all(features.get(feature, 0) >= count for feature, count in probe):
+                survivors.append(serial)
+        return frozenset(survivors)
+
+    def approximate_size_bytes(self) -> int:
+        """Rough memory footprint of the snapshot (trie + feature counters)."""
+        counters = sum(
+            48 + 24 * len(counter) for counter in self._buffer.features.values()
+        )
+        return self._buffer.trie.approximate_size_bytes() + counters
+
+    def release(self) -> None:
+        """Return the view (writers may then recycle the buffer)."""
+        self._index._release_buffer(self._buffer)
 
 
 class QueryGraphIndex:
@@ -83,20 +202,31 @@ class QueryGraphIndex:
     #: workloads repeat heavily).
     FEATURE_MEMO_LIMIT = 8192
 
-    def __init__(self, max_path_length: int = 3) -> None:
+    def __init__(
+        self, max_path_length: int = 3, double_buffered: bool = True
+    ) -> None:
         self._max_path_length = max_path_length
         #: Deterministic mutation counters (see :class:`IndexOpCounts`).
         self.op_counts = IndexOpCounts()
-        self._trie = PathTrie()
-        self._features: Dict[int, Counter] = {}
-        self._probes: Dict[int, Tuple[Tuple[Tuple[str, ...], int], ...]] = {}
-        self._graphs: Dict[int, Graph] = {}
+        # Double buffer: readers use the published copy, writers mutate the
+        # standby copy and swap.  At rest both copies hold identical content
+        # and the standby has no readers.  Single-copy mode skips the second
+        # copy; views then exclude writers via the write lock itself.
+        self._double_buffered = double_buffered
+        self._buffers = (
+            (_IndexBuffer(), _IndexBuffer()) if double_buffered else (_IndexBuffer(),)
+        )
+        self._published = 0
+        self._version = 0
+        # Guards the published pointer and the per-buffer reader counts; the
+        # condition wakes writers waiting for a retired buffer to drain.
+        self._read_cond = threading.Condition(threading.Lock())
+        # Serializes writers; re-entrant so nested batch()/add() compose.
+        self._write_lock = threading.RLock()
+        self._batch_depth = 0
+        self._batch_journal: List[Tuple] = []
         self._feature_memo: Dict[Graph, Counter] = {}
-        # Guards index mutation (add/remove/rebuild) and compound reads so a
-        # GCindex rebuild never interleaves with candidate generation.  The
-        # query pipeline additionally serializes processor stages behind the
-        # cache-level GC lock; this lock protects direct concurrent use.
-        self._lock = threading.RLock()
+        self._memo_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     @property
@@ -104,19 +234,73 @@ class QueryGraphIndex:
         """Maximum indexed label-path length in edges."""
         return self._max_path_length
 
+    @property
+    def version(self) -> int:
+        """Publication counter: bumps once per published mutation batch.
+
+        A reader that observes the same version before and after an
+        operation is guaranteed to have read one unchanged snapshot — the
+        deterministic evidence the mid-apply tests pin.
+        """
+        with self._read_cond:
+            return self._version
+
+    # ------------------------------------------------------------------ #
+    # Read views.
+    # ------------------------------------------------------------------ #
+    def acquire_view(self) -> IndexView:
+        """Pin the currently published snapshot for reading.
+
+        Double-buffered: never blocks on an in-flight mutation — an apply
+        that has not yet published is invisible, and one that has published
+        is complete.  Single-copy: takes the (re-entrant) write lock, so
+        reads and mutations exclude each other, as before the scheduler.
+        Callers must :meth:`IndexView.release` (or use :meth:`view`).
+        """
+        if not self._double_buffered:
+            self._write_lock.acquire()
+            return IndexView(self, self._buffers[0], self._version)
+        with self._read_cond:
+            buffer = self._buffers[self._published]
+            buffer.readers += 1
+            return IndexView(self, buffer, self._version)
+
+    def _release_buffer(self, buffer: _IndexBuffer) -> None:
+        if not self._double_buffered:
+            self._write_lock.release()
+            return
+        with self._read_cond:
+            buffer.readers -= 1
+            if buffer.readers == 0:
+                self._read_cond.notify_all()
+
+    @contextmanager
+    def view(self):
+        """Context-managed :meth:`acquire_view` / release pair."""
+        snapshot = self.acquire_view()
+        try:
+            yield snapshot
+        finally:
+            snapshot.release()
+
+    # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._graphs)
+        with self.view() as snapshot:
+            return len(snapshot)
 
     def __contains__(self, serial: int) -> bool:
-        return serial in self._graphs
+        with self.view() as snapshot:
+            return serial in snapshot
 
     def serials(self) -> List[int]:
         """Serial numbers of every indexed query."""
-        return list(self._graphs)
+        with self.view() as snapshot:
+            return snapshot.serials()
 
     def graph(self, serial: int) -> Graph:
         """Return the indexed query graph with the given serial."""
-        return self._graphs[serial]
+        with self.view() as snapshot:
+            return snapshot.graph(serial)
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -125,41 +309,117 @@ class QueryGraphIndex:
         ordered = sorted(features.items(), key=lambda item: (-len(item[0]), item[0]))
         return tuple(ordered[: QueryGraphIndex.PROBE_LIMIT])
 
+    # ------------------------------------------------------------------ #
+    # Mutation: standby-apply, publish, drain, replay.
+    # ------------------------------------------------------------------ #
+    def _standby(self) -> _IndexBuffer:
+        if not self._double_buffered:
+            return self._buffers[0]
+        return self._buffers[1 - self._published]
+
+    def _apply_add(self, buffer: _IndexBuffer, serial: int, query: Graph) -> None:
+        features = self.query_features(query)
+        buffer.trie.insert_features(features, serial)
+        buffer.features[serial] = features
+        buffer.probes[serial] = self._probe_of(features)
+        buffer.graphs[serial] = query
+
+    def _apply_remove(self, buffer: _IndexBuffer, serial: int) -> None:
+        if serial not in buffer.graphs:
+            return
+        buffer.trie.remove_owner(serial)
+        del buffer.features[serial]
+        del buffer.probes[serial]
+        del buffer.graphs[serial]
+
+    def _apply_rebuild(
+        self, buffer: _IndexBuffer, entries: List[Tuple[int, Graph]]
+    ) -> None:
+        buffer.trie = PathTrie()
+        buffer.features = {}
+        buffer.probes = {}
+        buffer.graphs = {}
+        for serial, query in entries:
+            self._apply_add(buffer, serial, query)
+
+    def _replay(self, buffer: _IndexBuffer, journal: List[Tuple]) -> None:
+        for op in journal:
+            if op[0] == "add":
+                self._apply_add(buffer, op[1], op[2])
+            elif op[0] == "remove":
+                self._apply_remove(buffer, op[1])
+            else:  # "rebuild"
+                self._apply_rebuild(buffer, op[1])
+
+    def _publish(self) -> None:
+        """Swap the buffers, bump the version, drain and converge the old copy.
+
+        Single-copy mode: mutations already landed in the only copy (under
+        the write lock, which also excludes views), so publication is just
+        the version bump.
+        """
+        journal, self._batch_journal = self._batch_journal, []
+        if not journal:
+            return
+        if not self._double_buffered:
+            with self._read_cond:
+                self._version += 1
+            return
+        with self._read_cond:
+            retired = self._buffers[self._published]
+            self._published = 1 - self._published
+            self._version += 1
+            while retired.readers > 0:
+                self._read_cond.wait()
+        self._replay(retired, journal)
+
+    @contextmanager
+    def batch(self):
+        """Group mutations into one atomic publication.
+
+        Every ``add``/``remove``/``rebuild`` inside the block lands in the
+        standby copy only; readers keep seeing the previous snapshot until
+        the block exits, at which point the whole delta publishes at once.
+        The maintenance engine wraps each apply round in a batch, which is
+        what makes a cache-update round atomic for concurrent lookups.
+        """
+        with self._write_lock:
+            self._batch_depth += 1
+            try:
+                yield
+            finally:
+                self._batch_depth -= 1
+                if self._batch_depth == 0:
+                    self._publish()
+
     def add(self, serial: int, query: Graph) -> None:
         """Index a cached query graph under its serial number."""
-        with self._lock:
+        with self.batch():
             self.op_counts.adds += 1
-            features = self.query_features(query)
-            self._trie.insert_features(features, serial)
-            self._features[serial] = features
-            self._probes[serial] = self._probe_of(features)
-            self._graphs[serial] = query
+            self._apply_add(self._standby(), serial, query)
+            self._batch_journal.append(("add", serial, query))
 
     def remove(self, serial: int) -> None:
         """Remove a cached query from the index (no-op if absent)."""
-        with self._lock:
-            if serial not in self._graphs:
+        with self.batch():
+            if serial not in self._standby().graphs:
                 return
             self.op_counts.removes += 1
-            self._trie.remove_owner(serial)
-            del self._features[serial]
-            del self._probes[serial]
-            del self._graphs[serial]
+            self._apply_remove(self._standby(), serial)
+            self._batch_journal.append(("remove", serial))
 
     def rebuild(self, entries: Iterable[Tuple[int, Graph]]) -> None:
         """Rebuild the index from scratch for a new set of cached queries.
 
-        This mirrors the Window Manager's re-indexing step: the new index is
-        built and swapped in wholesale after a cache-update round.
+        This mirrors the restore/warm-start path: the new index contents are
+        built on the standby copy and swapped in wholesale.
         """
-        with self._lock:
+        materialized = list(entries)
+        with self.batch():
             self.op_counts.rebuilds += 1
-            self._trie = PathTrie()
-            self._features = {}
-            self._probes = {}
-            self._graphs = {}
-            for serial, query in entries:
-                self.add(serial, query)
+            self.op_counts.adds += len(materialized)
+            self._apply_rebuild(self._standby(), materialized)
+            self._batch_journal.append(("rebuild", materialized))
 
     # ------------------------------------------------------------------ #
     # Candidate generation (to be confirmed by sub-iso tests).
@@ -174,7 +434,7 @@ class QueryGraphIndex:
         features = self._feature_memo.get(query)
         if features is None:
             features = path_features(query, self._max_path_length)
-            with self._lock:
+            with self._memo_lock:
                 if len(self._feature_memo) >= self.FEATURE_MEMO_LIMIT:
                     self._feature_memo.clear()
                 self._feature_memo[query] = features
@@ -184,39 +444,23 @@ class QueryGraphIndex:
         self, query: Graph, features: Optional[Counter] = None
     ) -> FrozenSet[int]:
         """Cached queries that *may contain* ``query`` (``Resultsub`` candidates)."""
-        with self._lock:
-            if not self._graphs:
-                return frozenset()
-            features = features if features is not None else self.query_features(query)
-            probe = dict(self._probe_of(features))
-            candidates = self._trie.filter(probe)
-            return frozenset(
-                serial
-                for serial in candidates
-                if could_be_subgraph(query, self._graphs[serial])
-            )
+        with self.view() as snapshot:
+            return snapshot.candidate_supergraphs(query, features)
 
     def candidate_subgraphs(
         self, query: Graph, features: Optional[Counter] = None
     ) -> FrozenSet[int]:
         """Cached queries that *may be contained in* ``query`` (``Resultsuper`` candidates)."""
-        with self._lock:
-            if not self._graphs:
-                return frozenset()
-            features = features if features is not None else self.query_features(query)
-            survivors: List[int] = []
-            for serial, probe in self._probes.items():
-                cached_graph = self._graphs[serial]
-                if not could_be_subgraph(cached_graph, query):
-                    continue
-                if all(features.get(feature, 0) >= count for feature, count in probe):
-                    survivors.append(serial)
-            return frozenset(survivors)
+        with self.view() as snapshot:
+            return snapshot.candidate_subgraphs(query, features)
 
     # ------------------------------------------------------------------ #
     def approximate_size_bytes(self) -> int:
-        """Rough memory footprint of the index (trie + feature counters)."""
-        counters = sum(
-            48 + 24 * len(counter) for counter in self._features.values()
-        )
-        return self._trie.approximate_size_bytes() + counters
+        """Rough memory footprint of the index (trie + feature counters).
+
+        Reports one copy's footprint — the logical index size the
+        paper-facing space-overhead figure measures.  A double-buffered
+        index (non-``sync`` maintenance modes) physically holds two copies.
+        """
+        with self.view() as snapshot:
+            return snapshot.approximate_size_bytes()

@@ -179,6 +179,20 @@ class GraphCacheService:
         """Convenience wrapper returning only the answer sets, in order."""
         return [result.answer_ids for result in self.query_many(queries, jobs=jobs)]
 
+    def drain_maintenance(self) -> None:
+        """Block until the wrapped cache's pending maintenance is applied.
+
+        Relevant under ``maintenance_mode="background"``: call it before
+        reading maintenance reports/journals (or rely on the drain-on-close
+        and drain-before-snapshot guarantees).  Must not be called while
+        holding a shard's GC lock.
+        """
+        self._cache.drain_maintenance()
+
+    def close(self) -> None:
+        """Drain pending maintenance and release the cache's resources."""
+        self._cache.close()
+
     def maintenance_reports(self) -> List[MaintenanceReport]:
         """Every cache-update round the wrapped cache has run so far.
 

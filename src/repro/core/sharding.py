@@ -47,7 +47,12 @@ from ..isomorphism.base import SubgraphMatcher
 from ..methods.base import Method
 from .cache import CacheQueryResult, CacheRuntimeStatistics, GraphCache
 from .config import GraphCacheConfig
-from .policies import MaintenanceEngine, MaintenanceReport
+from .policies import (
+    MaintenanceEngine,
+    MaintenanceReport,
+    MaintenanceScheduler,
+    PlanJournal,
+)
 from .query_index import QueryGraphIndex
 
 __all__ = ["ShardedGraphCache", "build_cache", "stable_feature_hash"]
@@ -101,21 +106,36 @@ class ShardedGraphCache:
         self._method = method
         # The router's feature extractor mirrors GCindex's (same path length,
         # same memo) but is a dedicated instance so routing never contends
-        # with any shard's index lock.
+        # with any shard's index lock; it is never mutated, so one copy.
         self._router_index = QueryGraphIndex(
-            max_path_length=self._config.index_path_length
+            max_path_length=self._config.index_path_length,
+            double_buffered=False,
         )
         self._shards: Tuple[GraphCache, ...] = tuple(
             GraphCache(method, self._shard_config(shard), matcher=matcher)
             for shard in range(self._config.shards)
         )
 
+    @staticmethod
+    def _shard_path(path: Optional[str], shard: int) -> Optional[str]:
+        """Derive shard ``shard``'s file from a base path (``<name>.shard<k>``)."""
+        if path is None:
+            return None
+        return str(Path(path).with_name(f"{Path(path).name}.shard{shard}"))
+
     def _shard_config(self, shard: int) -> GraphCacheConfig:
-        """Per-shard configuration: one plain cache, own backend location."""
-        path = self._config.backend_path
-        if path is not None and self._config.shards > 1:
-            path = str(Path(path).with_name(f"{Path(path).name}.shard{shard}"))
-        return replace(self._config, shards=1, backend_path=path)
+        """Per-shard configuration: one plain cache, own backend + journal."""
+        backend_path = self._config.backend_path
+        journal_path = self._config.journal_path
+        if self._config.shards > 1:
+            backend_path = self._shard_path(backend_path, shard)
+            journal_path = self._shard_path(journal_path, shard)
+        return replace(
+            self._config,
+            shards=1,
+            backend_path=backend_path,
+            journal_path=journal_path,
+        )
 
     # ------------------------------------------------------------------ #
     @property
@@ -193,6 +213,19 @@ class ShardedGraphCache:
         shards proceed concurrently, like everything else per-shard.
         """
         return [shard.maintenance_engine for shard in self._shards]
+
+    def maintenance_schedulers(self) -> List[MaintenanceScheduler]:
+        """Per-shard maintenance schedulers, indexed by shard id."""
+        return [shard.maintenance_scheduler for shard in self._shards]
+
+    def plan_journals(self) -> List[PlanJournal]:
+        """Per-shard plan journals, indexed by shard id."""
+        return [shard.plan_journal for shard in self._shards]
+
+    def drain_maintenance(self) -> None:
+        """Block until every shard's pending maintenance rounds are applied."""
+        for shard in self._shards:
+            shard.drain_maintenance()
 
     def maintenance_reports(self) -> List[MaintenanceReport]:
         """Every shard's cache-update reports, grouped by shard id order."""

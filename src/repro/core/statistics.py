@@ -174,7 +174,18 @@ class StatisticsManager:
         cost_reduction: float,
         special: bool = False,
     ) -> None:
-        """Record that cached query ``serial`` benefited ``benefiting_serial``."""
+        """Record that cached query ``serial`` benefited ``benefiting_serial``.
+
+        Hits on unknown serials are dropped (mirroring the utility heap's
+        behaviour): under background maintenance a query can confirm a hit
+        against a GCindex snapshot whose entry the worker evicts — and
+        ``forget_query``s — before the query commits; re-creating the row
+        here would leak a permanent ghost entry nothing ever deletes.
+        Under sync scheduling the guard never fires (hits are recorded
+        under the same GC lock as evictions).
+        """
+        if serial not in self._store:
+            return
         self._store.increment(serial, _COLUMNS["hits"], 1)
         if special:
             self._store.increment(serial, _COLUMNS["special_hits"], 1)

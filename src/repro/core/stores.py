@@ -186,6 +186,17 @@ class CacheStore:
             raise CacheError(f"query {serial} is not cached")
         return entry
 
+    def peek(self, serial: int) -> Optional[CacheEntry]:
+        """Return the entry with the given serial, or ``None`` if not cached.
+
+        The tolerant twin of :meth:`get` for readers that race a background
+        maintenance apply: a serial taken from a published GCindex snapshot
+        may have been evicted from the store a moment later, which is not an
+        error — the reader simply proceeds without that entry.
+        """
+        with self._lock:
+            return self._backend.get(serial)
+
     # ------------------------------------------------------------------ #
     def add(self, entry: CacheEntry) -> None:
         """Add an entry; raises if the store is full (evict first)."""

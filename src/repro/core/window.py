@@ -10,6 +10,15 @@ module re-exports the seed-era names so existing imports keep working.
 
 from __future__ import annotations
 
+import warnings
+
+warnings.warn(
+    "repro.core.window is a deprecated re-export shim; "
+    "import from repro.core.policies instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
 from .policies.plan import MaintenanceReport
 from .policies.window import WindowManager
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.adaptive_admission import AdaptiveAdmissionController
+from repro.core.policies import AdaptiveAdmissionController
 from repro.core.stores import WindowEntry
 from repro.graphs.graph import Graph
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 
-from repro.core.admission import AdmissionController
+from repro.core.policies import AdmissionController
 from repro.core.stores import WindowEntry
 from repro.graphs.graph import Graph
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import functools
 import json
 import random
+import warnings
 from dataclasses import asdict
 
 import pytest
@@ -441,7 +442,9 @@ class TestMidCalibrationRoundTrip:
 
     def test_v2_snapshot_loads_with_cold_admission_state(self, warm_cache, tmp_path):
         """A v2 snapshot (no maintenance record) still loads; admission
-        restarts cold — the only behaviour v2 ever captured."""
+        restarts cold — the only behaviour v2 ever captured — and the load
+        says so with exactly one explicit warning (ISSUE-5) instead of
+        silently resetting."""
         cache, method, _ = warm_cache
         path = tmp_path / "v2.json"
         save_cache(cache, path)
@@ -451,9 +454,42 @@ class TestMidCalibrationRoundTrip:
             shard_payload.pop("maintenance", None)
         path.write_text(json.dumps(payload))
 
-        restored = load_cache(path, method)
+        with pytest.warns(UserWarning, match="format v2.*restart cold") as caught:
+            restored = load_cache(path, method)
+        assert len(caught) == 1
         assert sorted(restored.cached_serials) == sorted(cache.cached_serials)
-        assert restored.window_manager.admission.threshold is None
+        # The cold state the warning announces: no fixed threshold, no
+        # observed calibration windows.
+        controller = restored.window_manager.admission
+        assert controller.threshold is None
+        assert controller.state_record()["windows_observed"] == 0
+        assert controller.state_record()["observed_scores"] == []
+
+    def test_v1_snapshot_warns_once_and_v3_is_silent(self, warm_cache, tmp_path):
+        cache, method, _ = warm_cache
+        v3_path = tmp_path / "v3.json"
+        save_cache(cache, v3_path)
+
+        # A v3 load must not warn at all.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", UserWarning)
+            load_cache(v3_path, method)
+
+        v1_path = tmp_path / "v1.json"
+        payload = json.loads(v3_path.read_text())
+        (shard_payload,) = payload["shards"]
+        v1_payload = {
+            "format_version": 1,
+            "config": payload["config"],
+            "dataset_name": payload["dataset_name"],
+            "dataset_size": payload["dataset_size"],
+            "next_serial": shard_payload["next_serial"],
+            "entries": shard_payload["entries"],
+        }
+        v1_path.write_text(json.dumps(v1_payload))
+        with pytest.warns(UserWarning, match="format v1") as caught:
+            load_cache(v1_path, method)
+        assert len(caught) == 1
 
 
 class TestValidation:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.replacement import (
+from repro.core.policies import (
     HybridPolicy,
     LRUPolicy,
     PINCPolicy,

@@ -1,0 +1,67 @@
+"""The PR-4 re-export shims warn on import; repro.core itself stays clean."""
+
+from __future__ import annotations
+
+import importlib
+import os
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+SHIMS = (
+    "repro.core.window",
+    "repro.core.admission",
+    "repro.core.adaptive_admission",
+    "repro.core.replacement",
+)
+
+
+@pytest.mark.parametrize("module", SHIMS)
+def test_shim_import_emits_deprecation_warning(module: str) -> None:
+    sys.modules.pop(module, None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        importlib.import_module(module)
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "repro.core.policies" in str(deprecations[0].message)
+
+
+@pytest.mark.parametrize("module", SHIMS)
+def test_shim_still_reexports_the_policies_names(module: str) -> None:
+    sys.modules.pop(module, None)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        shim = importlib.import_module(module)
+    policies = importlib.import_module("repro.core.policies")
+    for name in shim.__all__:
+        assert getattr(shim, name) is getattr(policies, name)
+
+
+def test_repro_core_imports_warning_free() -> None:
+    """``import repro.core`` must not touch any deprecated shim.
+
+    Run in a fresh interpreter with DeprecationWarning escalated to an
+    error, so a stray shim import anywhere in the package graph fails loud.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-W",
+            "error::DeprecationWarning",
+            "-c",
+            "import repro.core; import repro.core.policies",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr

@@ -107,6 +107,22 @@ class TestStatisticsManager:
         # Snapshot of a forgotten query degrades to zeros rather than raising.
         assert manager.snapshot(7).order == 0
 
+    def test_record_hit_on_unknown_serial_is_dropped(self):
+        """A hit landing after forget_query must not resurrect the row.
+
+        Under background maintenance a query can confirm a hit against a
+        GCindex snapshot whose entry the worker evicts before the query
+        commits; re-creating the statistics row would leak a permanent
+        ghost entry nothing ever deletes.
+        """
+        manager = StatisticsManager()
+        manager.register_query(CachedQueryStats(serial=7))
+        manager.forget_query(7)
+        manager.record_hit(7, benefiting_serial=9, cs_reduction=1, cost_reduction=1.0)
+        assert 7 not in manager.known_serials()
+        manager.record_hit(99, benefiting_serial=9, cs_reduction=1, cost_reduction=1.0)
+        assert 99 not in manager.known_serials()
+
     def test_snapshots_bulk_order_preserved(self):
         manager = StatisticsManager()
         for serial in (5, 3, 9):

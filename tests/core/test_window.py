@@ -2,13 +2,10 @@
 
 from __future__ import annotations
 
-
-from repro.core.admission import AdmissionController
+from repro.core.policies import AdmissionController, WindowManager, policy_by_name
 from repro.core.query_index import QueryGraphIndex
-from repro.core.replacement import policy_by_name
 from repro.core.statistics import StatisticsManager
 from repro.core.stores import CacheStore, WindowEntry, WindowStore
-from repro.core.window import WindowManager
 from repro.graphs.graph import Graph
 
 

@@ -81,3 +81,46 @@ class TestCommands:
         output = capsys.readouterr().out
         for policy in ("LRU", "POP", "PIN", "PINC", "HD"):
             assert policy in output
+
+
+class TestMaintenanceCommand:
+    def test_maintenance_mode_flag_parses(self):
+        args = build_parser().parse_args(
+            ["run", "aids", "--maintenance-mode", "background"]
+        )
+        assert args.maintenance_mode == "background"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "aids", "--maintenance-mode", "eager"])
+
+    def test_maintenance_run_prints_rounds(self, capsys):
+        code = main([
+            "maintenance", "aids", "--scale", "0.06", "--method", "vf2plus",
+            "--queries", "25", "--cache-size", "5", "--window-size", "3",
+            "--seed", "2", "--maintenance-mode", "background", "--serials",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        for column in ("round", "admitted", "evicted", "policy", "index_ops"):
+            assert column in output
+        assert "round 1: admitted" in output
+
+    def test_maintenance_inspects_journal_file(self, capsys, tmp_path):
+        journal_path = tmp_path / "plans.jsonl"
+        code = main([
+            "run", "aids", "--scale", "0.06", "--method", "vf2plus",
+            "--queries", "25", "--cache-size", "5", "--window-size", "3",
+            "--seed", "2", "--maintenance-mode", "barrier",
+            "--journal-path", str(journal_path),
+        ])
+        assert code == 0
+        assert journal_path.exists()
+        capsys.readouterr()
+        code = main(["maintenance", "--journal", str(journal_path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "round" in output and "policy" in output
+
+    def test_maintenance_without_dataset_or_journal_errors(self, capsys):
+        code = main(["maintenance"])
+        assert code == 2
+        assert "provide a dataset" in capsys.readouterr().err
