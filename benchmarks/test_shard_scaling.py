@@ -79,7 +79,7 @@ def test_shards1_counter_identical_to_plain_cache(benchmark):
         plain_cache = plain_cell.cache
         plain_results = plain_cache.results()
         assert len(plain_results) == len(workload) == len(sharded_results)
-        for mine, theirs in zip(sharded_results, plain_results):
+        for mine, theirs in zip(sharded_results, plain_results, strict=True):
             assert _result_fields(mine) == _result_fields(theirs), (dataset, label)
         assert _runtime_counters(sharded) == _runtime_counters(plain_cache), (
             dataset,
@@ -128,7 +128,7 @@ def test_shard_scaling_microbenchmark(benchmark):
     for shards, serial, serial_results, concurrent, concurrent_results, elapsed in rows:
         # Work-counter-neutral routing: the concurrent drive of the shards
         # changes no per-query result and no per-shard counter.
-        for mine, theirs in zip(concurrent_results, serial_results):
+        for mine, theirs in zip(concurrent_results, serial_results, strict=True):
             assert _result_fields(mine) == _result_fields(theirs), shards
         assert [
             _runtime_counters(shard) for shard in concurrent.shards
@@ -169,7 +169,7 @@ def test_sharded_scenario_rows(benchmark):
     # The sharded cell answers every query identically (correctness is
     # cache-structure independent); its counters differ because each shard
     # prunes with its own cache contents.
-    for mine, theirs in zip(sharded.cached_results, plain.cached_results):
+    for mine, theirs in zip(sharded.cached_results, plain.cached_results, strict=True):
         assert mine.answer_ids == theirs.answer_ids
     rows = [cell.summary_row() for cell in cells]
     print()

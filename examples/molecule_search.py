@@ -54,7 +54,7 @@ def main() -> None:
             GraphCacheConfig(cache_capacity=25, window_size=10, replacement_policy=policy),
         )
         results = [cache.query(query) for query in workload]
-        for execution, result in zip(baseline, results):
+        for execution, result in zip(baseline, results, strict=True):
             assert execution.answer_ids == result.answer_ids
         cached_aggregate = aggregate_cached(results[warmup:])
         report = speedup(baseline_aggregate, cached_aggregate)

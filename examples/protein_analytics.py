@@ -63,7 +63,7 @@ def main() -> None:
     for admission in (False, True):
         label = "C + AC (admission control)" if admission else "C (no admission control)"
         cache, results = run_with(method, workload, admission)
-        for execution, result in zip(baseline, results):
+        for execution, result in zip(baseline, results, strict=True):
             assert execution.answer_ids == result.answer_ids
         report = speedup(baseline_aggregate, aggregate_cached(results))
         threshold = cache.window_manager.admission.threshold

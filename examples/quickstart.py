@@ -42,7 +42,7 @@ def main() -> None:
     cached_tests = sum(result.subiso_tests for result in cached)
 
     # 6. Answers are identical — the cache never changes results.
-    for execution, result in zip(baseline, cached):
+    for execution, result in zip(baseline, cached, strict=True):
         assert execution.answer_ids == result.answer_ids
 
     stats = cache.runtime_statistics

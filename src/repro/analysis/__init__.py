@@ -1,0 +1,39 @@
+"""Static analysis and runtime sanitizing for the repro concurrency rules.
+
+Two halves share one rank table (:mod:`repro.analysis.locks`):
+
+* :mod:`repro.analysis.runtime` — the ``make_lock``/``make_rlock``/
+  ``make_condition`` factory every core module creates its locks through,
+  with an opt-in lockdep-style order sanitizer (``REPRO_LOCK_SANITIZER=1``);
+* the AST analyzer (``python -m repro.analysis`` or ``graphcache analyze``)
+  in :mod:`repro.analysis.rules` / :mod:`repro.analysis.run`, enforcing
+  rules REPRO001–REPRO006 statically.
+
+This ``__init__`` intentionally re-exports only the runtime factory: the
+core imports it at startup, so it must not drag the analyzer (ast walking,
+reporting) into every process.
+"""
+
+from .locks import GC_LOCK_NAME, LOCK_RANKS, rank_of
+from .runtime import (
+    LockCycleError,
+    LockRankError,
+    LockSanitizerError,
+    make_condition,
+    make_lock,
+    make_rlock,
+    sanitizer_enabled,
+)
+
+__all__ = [
+    "GC_LOCK_NAME",
+    "LOCK_RANKS",
+    "LockCycleError",
+    "LockRankError",
+    "LockSanitizerError",
+    "make_condition",
+    "make_lock",
+    "make_rlock",
+    "rank_of",
+    "sanitizer_enabled",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.analysis`` — run the static analyzer."""
+
+from .run import main
+
+raise SystemExit(main())

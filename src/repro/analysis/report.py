@@ -1,0 +1,72 @@
+"""Finding filtering (suppressions, baseline) and rendering."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Set
+
+from .model import ModuleModel
+from .rules import Finding
+
+__all__ = [
+    "apply_baseline",
+    "apply_suppressions",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], modules: Iterable[ModuleModel]
+) -> List[Finding]:
+    """Drop findings covered by a ``# repro: allow[RULE]`` on the finding
+    line (or the comment-only line directly above it)."""
+    allows: Dict[str, Dict[int, Set[str]]] = {
+        str(module.path): module.allows for module in modules
+    }
+    kept: List[Finding] = []
+    for finding in findings:
+        rules = allows.get(finding.path, {}).get(finding.line, set())
+        if finding.rule in rules or "*" in rules:
+            continue
+        kept.append(finding)
+    return kept
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """The accepted-finding fingerprints of a baseline file."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    return set(data.get("accepted", []))
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    payload = {"accepted": sorted({f.fingerprint for f in findings})}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(findings: Iterable[Finding], accepted: Set[str]) -> List[Finding]:
+    return [f for f in findings if f.fingerprint not in accepted]
+
+
+def _sorted(findings: Iterable[Finding]) -> List[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.symbol))
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    ordered = _sorted(findings)
+    lines = [f"{f.path}:{f.line}: {f.rule} {f.message}" for f in ordered]
+    lines.append(
+        f"{len(ordered)} finding{'s' if len(ordered) != 1 else ''}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    ordered = _sorted(findings)
+    return json.dumps(
+        {"count": len(ordered), "findings": [f.to_dict() for f in ordered]},
+        indent=2,
+    )

@@ -1,0 +1,150 @@
+"""Entry point: scan paths, run the REPRO rules, report, gate.
+
+``python -m repro.analysis [paths...] [--format text|json] [--baseline FILE]
+[--write-baseline] [--no-baseline]`` — exits 0 when no unsuppressed,
+non-baselined finding remains, 1 otherwise.  ``graphcache analyze`` is a thin
+wrapper over the same :func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from .model import ModuleModel, extract_module
+from .report import (
+    apply_baseline,
+    apply_suppressions,
+    load_baseline,
+    render_json,
+    render_text,
+    write_baseline,
+)
+from .rules import Finding, run_rules
+
+__all__ = ["analyze_paths", "build_parser", "main"]
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def _package_root() -> Path:
+    """The installed ``repro`` package directory (the default scan target)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name of a file, anchored at the nearest ``repro`` (or
+    topmost __init__.py-bearing) package root."""
+    parts: List[str] = []
+    current = path.with_suffix("")
+    if current.name == "__init__":
+        current = current.parent
+    while True:
+        parts.append(current.name)
+        parent = current.parent
+        if current.name == "repro" or not (parent / "__init__.py").exists():
+            break
+        if parent == current:
+            break
+        current = parent
+    return ".".join(reversed(parts))
+
+
+def _iter_files(paths: Sequence[Path]) -> List[Path]:
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            out.append(path)
+    # the analyzer does not scan itself: runtime.py wraps raw threading
+    # primitives by design, and the rule tables would read as their own
+    # findings.  Everything else in src/repro is fair game.
+    analysis_dir = Path(__file__).resolve().parent
+    return [f for f in out if analysis_dir not in f.resolve().parents]
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+) -> Tuple[List[Finding], List[ModuleModel]]:
+    """Extract models for all python files under ``paths`` and run the rules.
+
+    Returns the *suppression-filtered* findings plus the models (the caller
+    applies the baseline)."""
+    modules = [_extract(path) for path in _iter_files(paths)]
+    models = [m for m in modules if m is not None]
+    findings = apply_suppressions(run_rules(models), models)
+    return findings, models
+
+
+def _extract(path: Path) -> Optional[ModuleModel]:
+    try:
+        return extract_module(path, _module_name(path))
+    except SyntaxError as exc:  # report, keep scanning the rest
+        print(f"repro.analysis: skipping {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Static lock-discipline & plan-purity analyzer (rules "
+            "REPRO001-REPRO006) for the repro package."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to scan (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="baseline file of accepted finding fingerprints",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline and report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings into the baseline file and exit 0",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    paths = list(args.paths) or [_package_root()]
+    findings, _models = analyze_paths(paths)
+
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(f"baseline: accepted {len(findings)} finding(s) -> {args.baseline}")
+        return 0
+
+    if not args.no_baseline and args.baseline.exists():
+        findings = apply_baseline(findings, load_baseline(args.baseline))
+
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,260 @@
+"""Named-lock factory with an opt-in runtime lock-order sanitizer.
+
+All locks in the concurrent core are created through :func:`make_lock`,
+:func:`make_rlock`, or :func:`make_condition` under a name from
+:data:`repro.analysis.locks.LOCK_RANKS`.  Normally the factories return the
+plain :mod:`threading` primitives — zero overhead, byte-for-byte the seed
+behaviour.  When the environment variable ``REPRO_LOCK_SANITIZER=1`` is set
+*at lock-creation time*, they return :class:`SanitizedLock` wrappers that
+check the declared lock hierarchy on every acquisition, lockdep-style:
+
+* **rank assertion** — a thread may only acquire a lock of strictly greater
+  rank than every lock it already holds (re-entrant re-acquisition of the
+  same lock object excepted).  Violations raise :class:`LockRankError` at the
+  acquire site, with both acquisition stacks in the message.
+* **order-graph cycle detection** — every observed "held A, acquired B"
+  pair adds an ``A → B`` edge to a process-wide order graph; an acquisition
+  whose reverse path already exists raises :class:`LockCycleError` *even if
+  the two threads never actually collide in this run*.  This catches
+  potential deadlocks from a single-threaded execution of each side.
+* **per-thread acquisition stacks** — each held lock remembers where it was
+  acquired (``file:line``), so a report names both sides of an inversion.
+
+The sanitizer is deliberately strict about *names*, not objects: two shard
+caches each own a ``gc`` lock, and holding shard 0's while taking shard 1's
+is reported as a rank violation — exactly the cross-shard nesting the
+sharded facade is designed to avoid.
+
+Unranked locks (``rank=None``, i.e. names absent from the table) skip the
+rank assertion but still participate in cycle detection — that is what the
+unit tests use to provoke a pure A→B/B→A inversion.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from .locks import rank_of
+
+__all__ = [
+    "LockCycleError",
+    "LockRankError",
+    "LockSanitizerError",
+    "SanitizedLock",
+    "make_condition",
+    "make_lock",
+    "make_rlock",
+    "sanitizer_enabled",
+]
+
+ENV_VAR = "REPRO_LOCK_SANITIZER"
+
+
+def sanitizer_enabled() -> bool:
+    """Whether ``REPRO_LOCK_SANITIZER`` currently enables the sanitizer."""
+    return os.environ.get(ENV_VAR, "").strip().lower() in {"1", "true", "yes", "on"}
+
+
+class LockSanitizerError(RuntimeError):
+    """A violation of the declared lock discipline, caught at runtime."""
+
+
+class LockRankError(LockSanitizerError):
+    """Acquired a lock whose rank is not above every lock already held."""
+
+
+class LockCycleError(LockSanitizerError):
+    """An acquisition order that closes a cycle in the global order graph."""
+
+
+# --------------------------------------------------------------------------- #
+# Process-wide sanitizer state.
+#
+# The order graph maps lock name -> names observed acquired while it was
+# held.  It is guarded by a *raw* lock (the sanitizer must not recurse into
+# itself).  Held stacks are per thread.
+# --------------------------------------------------------------------------- #
+_graph_lock = threading.Lock()
+_order_graph: Dict[str, Set[str]] = {}
+_edge_sites: Dict[Tuple[str, str], str] = {}
+_held = threading.local()
+
+
+def _held_stack() -> List["SanitizedLock"]:
+    stack = getattr(_held, "stack", None)
+    if stack is None:
+        stack = []
+        _held.stack = stack
+    return stack
+
+
+def _reset_for_tests() -> None:
+    """Clear the order graph and this thread's held stack (test isolation)."""
+    with _graph_lock:
+        _order_graph.clear()
+        _edge_sites.clear()
+    _held.stack = []
+
+
+def _call_site() -> str:
+    """``file:line`` of the frame that called into the lock API."""
+    frame = sys._getframe(2)
+    # Walk out of this module so the report points at the acquiring code.
+    while frame is not None and frame.f_globals.get("__name__") == __name__:
+        frame = frame.f_back
+    if frame is None:
+        return "<unknown>"
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+
+def _path_exists(src: str, dst: str) -> bool:
+    """Depth-first reachability in the order graph (caller holds _graph_lock)."""
+    seen: Set[str] = set()
+    frontier = [src]
+    while frontier:
+        node = frontier.pop()
+        if node == dst:
+            return True
+        if node in seen:
+            continue
+        seen.add(node)
+        frontier.extend(_order_graph.get(node, ()))
+    return False
+
+
+class SanitizedLock:
+    """A named, ranked wrapper over a :mod:`threading` lock primitive.
+
+    Checks are performed *before* the underlying acquire, so a violation is
+    reported instead of deadlocking the test process.
+    """
+
+    __slots__ = ("_lock", "name", "rank", "reentrant", "_owner", "_depth", "_sites")
+
+    def __init__(
+        self,
+        name: str,
+        rank: Optional[int],
+        reentrant: bool,
+    ) -> None:
+        self._lock = threading.RLock() if reentrant else threading.Lock()
+        self.name = name
+        self.rank = rank
+        self.reentrant = reentrant
+        self._owner: Optional[int] = None
+        self._depth = 0
+        self._sites: List[str] = []
+
+    # -- checks --------------------------------------------------------- #
+    def _check(self, site: str) -> None:
+        stack = _held_stack()
+        if self in stack:
+            if self.reentrant:
+                return  # re-entrant re-acquisition of the same object
+            raise LockRankError(
+                f"self-deadlock: non-reentrant lock '{self.name}' re-acquired "
+                f"at {site} while already held at {self._sites[-1]}"
+            )
+        for held in stack:
+            if (
+                self.rank is not None
+                and held.rank is not None
+                and self.rank <= held.rank
+            ):
+                raise LockRankError(
+                    f"lock rank violation: acquiring '{self.name}' "
+                    f"(rank {self.rank}) at {site} while holding "
+                    f"'{held.name}' (rank {held.rank}) acquired at "
+                    f"{held._sites[-1]}; the hierarchy requires strictly "
+                    f"increasing ranks (see repro.analysis.locks.LOCK_RANKS)"
+                )
+        # Order-graph edges: innermost held lock -> this lock.
+        if stack:
+            inner = stack[-1]
+            if inner.name != self.name:
+                with _graph_lock:
+                    if _path_exists(self.name, inner.name):
+                        back = _edge_sites.get((self.name, inner.name), "<elsewhere>")
+                        raise LockCycleError(
+                            f"potential deadlock: acquiring '{self.name}' at "
+                            f"{site} while holding '{inner.name}' (acquired at "
+                            f"{inner._sites[-1]}), but the opposite order "
+                            f"'{self.name}' -> '{inner.name}' was observed at "
+                            f"{back}"
+                        )
+                    _order_graph.setdefault(inner.name, set()).add(self.name)
+                    _edge_sites.setdefault((inner.name, self.name), site)
+
+    # -- lock protocol --------------------------------------------------- #
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        site = _call_site()
+        self._check(site)
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            stack = _held_stack()
+            stack.append(self)
+            self._sites.append(site)
+            self._owner = threading.get_ident()
+            self._depth += 1
+        return acquired
+
+    def release(self) -> None:
+        stack = _held_stack()
+        # Pop the most recent occurrence (re-entrant locks appear N times).
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is self:
+                del stack[index]
+                break
+        if self._sites:
+            self._sites.pop()
+        self._depth -= 1
+        if self._depth <= 0:
+            self._depth = 0
+            self._owner = None
+        self._lock.release()
+
+    def __enter__(self) -> "SanitizedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        """Whether any thread currently holds the lock."""
+        return self._owner is not None
+
+    def _is_owned(self) -> bool:
+        """Owner check for :class:`threading.Condition` (avoids its
+        ``acquire(0)`` probe fallback, which would itself be sanitized)."""
+        return self._owner == threading.get_ident()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SanitizedLock(name={self.name!r}, rank={self.rank!r})"
+
+
+def make_lock(name: str, rank: Optional[int] = None) -> Any:
+    """A non-reentrant lock registered under ``name``.
+
+    The rank comes from :data:`~repro.analysis.locks.LOCK_RANKS`; an explicit
+    ``rank`` argument overrides it (ad-hoc/test locks).  With the sanitizer
+    disabled this is exactly ``threading.Lock()``.
+    """
+    if not sanitizer_enabled():
+        return threading.Lock()
+    return SanitizedLock(name, rank if rank is not None else rank_of(name), False)
+
+
+def make_rlock(name: str, rank: Optional[int] = None) -> Any:
+    """A re-entrant lock registered under ``name`` (else ``threading.RLock()``)."""
+    if not sanitizer_enabled():
+        return threading.RLock()
+    return SanitizedLock(name, rank if rank is not None else rank_of(name), True)
+
+
+def make_condition(name: str, rank: Optional[int] = None) -> threading.Condition:
+    """A condition variable over a sanitized (or plain) lock named ``name``."""
+    return threading.Condition(make_lock(name, rank))

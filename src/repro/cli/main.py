@@ -40,6 +40,7 @@ from ..bench.metrics import (
 from ..bench.reporting import format_table
 from ..core.backends import AVAILABLE_BACKENDS
 from ..core.config import GraphCacheConfig
+from ..exceptions import CacheError
 from ..core.pipeline import STAGE_NAMES
 from ..core.policies import (
     SCHEDULER_MODES,
@@ -143,6 +144,25 @@ def build_parser() -> argparse.ArgumentParser:
     maintenance.add_argument("--serials", action="store_true",
                              help="also print per-round admitted/evicted "
                                   "serials and victim utilities")
+
+    # analyze -------------------------------------------------------------------- #
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="run the static lock-discipline & plan-purity analyzer "
+             "(rules REPRO001-REPRO006) over the repro package",
+    )
+    analyze.add_argument("paths", nargs="*", type=Path,
+                         help="files or directories to scan "
+                              "(default: the installed repro package)")
+    analyze.add_argument("--format", choices=("text", "json"), default="text",
+                         help="report format (default: text)")
+    analyze.add_argument("--baseline", type=Path, default=None,
+                         help="baseline file of accepted finding fingerprints "
+                              "(default: the checked-in baseline)")
+    analyze.add_argument("--no-baseline", action="store_true",
+                         help="ignore the baseline and report every finding")
+    analyze.add_argument("--write-baseline", action="store_true",
+                         help="accept the current findings into the baseline")
 
     return parser
 
@@ -403,9 +423,42 @@ def _plan_rows(plans, with_serials: bool):
     return rows, details
 
 
+def _command_analyze(args: argparse.Namespace) -> int:
+    # Imported lazily: the analyzer is a dev-facing tool and the rest of the
+    # CLI should not pay for it (or depend on it) at import time.
+    from ..analysis.run import main as analysis_main
+
+    argv = [str(path) for path in args.paths]
+    argv += ["--format", args.format]
+    if args.baseline is not None:
+        argv += ["--baseline", str(args.baseline)]
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    return analysis_main(argv)
+
+
 def _command_maintenance(args: argparse.Namespace) -> int:
     if args.journal is not None:
-        plans = PlanJournal.load(args.journal)
+        try:
+            plans = PlanJournal.load(args.journal)
+        except FileNotFoundError:
+            print(
+                f"graphcache maintenance: journal file not found: {args.journal}",
+                file=sys.stderr,
+            )
+            return 2
+        except OSError as exc:
+            print(
+                f"graphcache maintenance: cannot read journal "
+                f"{args.journal}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        except CacheError as exc:
+            print(f"graphcache maintenance: {exc}", file=sys.stderr)
+            return 2
         rows, details = _plan_rows(plans, args.serials)
         if not rows:
             print(f"{args.journal}: empty journal (no rounds applied)")
@@ -432,7 +485,7 @@ def _command_maintenance(args: argparse.Namespace) -> int:
     # never shift onto the wrong row if a plan-less report ever appears.
     reports = [r for r in service.maintenance_reports() if r.plan is not None]
     rows, details = _plan_rows([report.plan for report in reports], args.serials)
-    for row, report in zip(rows, reports):
+    for row, report in zip(rows, reports, strict=True):
         row["cache_size"] = report.cache_size_after
         row["index_ops"] = report.index_ops
         row["row_ops"] = report.backend_row_ops
@@ -455,6 +508,7 @@ _COMMANDS = {
     "batch": _command_batch,
     "policies": _command_policies,
     "maintenance": _command_maintenance,
+    "analyze": _command_analyze,
 }
 
 

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from ...analysis.runtime import make_rlock
 from .base import EntryCodec, StorageBackend
 
 __all__ = ["InMemoryBackend"]
@@ -26,7 +26,7 @@ class InMemoryBackend(StorageBackend):
         self._entries: Dict[int, Any] = {}
         # Backends may be used directly (contract tests, ad-hoc tools); the
         # store facades add their own coarser lock on top.
-        self._lock = threading.RLock()
+        self._lock = make_rlock("backend")
 
     # ------------------------------------------------------------------ #
     def put(self, serial: int, entry: Any) -> None:

@@ -17,9 +17,9 @@ from __future__ import annotations
 
 import json
 import sqlite3
-import threading
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from ...analysis.runtime import make_rlock
 from .base import EntryCodec, StorageBackend
 
 __all__ = ["SQLiteBackend"]
@@ -60,7 +60,7 @@ class SQLiteBackend(StorageBackend):
             check_same_thread=False,
             isolation_level=None,  # autocommit: every mutation is written through
         )
-        self._lock = threading.RLock()
+        self._lock = make_rlock("backend")
         with self._lock:
             self._connection.execute(
                 f"CREATE TABLE IF NOT EXISTS {table} ("

@@ -28,11 +28,11 @@ exactly the answer set Method M would return on its own.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from ..analysis.runtime import make_lock, make_rlock
 from ..exceptions import CacheError
 from ..graphs.graph import Graph
 from ..isomorphism.base import SubgraphMatcher
@@ -265,7 +265,7 @@ class GraphCache:
         # decide/apply rounds and the incremental utility heap; the
         # scheduler (config.maintenance_mode) decides where rounds execute
         # and journals every applied plan.
-        self._gc_lock = threading.RLock()
+        self._gc_lock = make_rlock("gc")
         self._engine = MaintenanceEngine(
             cache_store=self._cache_store,
             statistics=self._statistics,
@@ -295,7 +295,7 @@ class GraphCache:
         self._serial = 0
         self._runtime = CacheRuntimeStatistics()
         self._results: List[CacheQueryResult] = []
-        self._serial_lock = threading.Lock()
+        self._serial_lock = make_lock("serial")
         self._pipeline = QueryPipeline(
             MfilterStage(method),
             ProcessorStage(self._processors),

@@ -203,7 +203,7 @@ def load_cache(
                 f"config.shards={config.shards}"
             )
         sharded = ShardedGraphCache(method, config)
-        for shard, shard_payload in zip(sharded.shards, shard_payloads):
+        for shard, shard_payload in zip(sharded.shards, shard_payloads, strict=True):
             _restore_shard(shard, shard_payload)
         return sharded
 

@@ -41,6 +41,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, FrozenSet, Optional, Protocol, Tuple
 
+from ..analysis.runtime import make_lock, make_rlock
 from ..graphs.graph import Graph
 from ..methods.base import Method
 from ..methods.executor import verify_candidates
@@ -239,13 +240,13 @@ class QueryPipeline:
         self._prune = prune
         self._verify = verify
         self._commit = commit
-        self._gc_lock = gc_lock if gc_lock is not None else threading.RLock()
+        self._gc_lock = gc_lock if gc_lock is not None else make_rlock("gc")
         self._parallel_filter = parallel_filter
         # Persistent helper for parallel mode, created lazily on first use so
         # serial pipelines never spawn a thread.  A pool (not a per-query
         # Thread) keeps thread create/join churn off the per-query hot path.
         self._filter_pool: Optional[ThreadPoolExecutor] = None
-        self._filter_pool_lock = threading.Lock()
+        self._filter_pool_lock = make_lock("pipeline.filter_pool")
 
     # ------------------------------------------------------------------ #
     @property
@@ -326,5 +327,9 @@ class QueryPipeline:
             future = self._filter_pool.submit(self._timed, self._mfilter, ctx)
         with self._gc_lock:
             self._timed(self._processors, ctx)
+            # The wait-under-lock is the figure's design: pruning must see
+            # the exact cache state the processors read, and the Mfilter
+            # worker never takes the GC lock, so the wait cannot deadlock.
+            # repro: allow[REPRO002] intentional barrier, worker is lock-free
             future.result()  # re-raises any Mfilter exception
             self._timed(self._prune, ctx)

@@ -228,7 +228,7 @@ class MaintenanceEngine:
                 self._index.add(entry.serial, entry.query)
             if self.apply_hold_hook is not None:
                 self.apply_hold_hook(plan)
-        with lock if lock is not None else nullcontext():
+        with lock if lock is not None else nullcontext():  # repro: lock[gc]
             for serial in plan.evicted_serials:
                 self._heap.remove(serial)
                 self._statistics.forget_query(serial)
@@ -261,7 +261,7 @@ class MaintenanceEngine:
         """
         plan = self.decide(window_entries, current_serial)
         index_ops, backend_row_ops = self.apply(plan, window_entries, lock=lock)
-        with lock if lock is not None else nullcontext():
+        with lock if lock is not None else nullcontext():  # repro: lock[gc]
             if (
                 isinstance(self._admission, AdaptiveAdmissionController)
                 and window_entries

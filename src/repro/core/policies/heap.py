@@ -35,9 +35,9 @@ order mutation for mutation.
 from __future__ import annotations
 
 import heapq
-import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ...analysis.runtime import make_rlock
 from ...exceptions import CacheError
 from ..statistics import CachedQueryStats
 from .replacement import HybridPolicy, ReplacementPolicy
@@ -100,7 +100,7 @@ class UtilityHeap:
         # thread while the commit path keeps feeding per-hit updates; every
         # public method holds this lock so the heap's state and the lazy
         # heap array are never read and mutated concurrently.
-        self._lock = threading.RLock()
+        self._lock = make_rlock("heap")
 
     # ------------------------------------------------------------------ #
     @property

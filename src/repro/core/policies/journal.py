@@ -27,11 +27,12 @@ never corrupts earlier records).
 from __future__ import annotations
 
 import json
-import threading
 from collections import deque
 from pathlib import Path
 from typing import Any, Deque, Dict, List, Optional, Union
 
+from ...analysis.runtime import make_lock
+from ...exceptions import CacheError
 from .plan import MaintenancePlan
 
 __all__ = ["PlanJournal"]
@@ -69,7 +70,7 @@ class PlanJournal:
         self._records: Deque[Dict[str, Any]] = deque(
             maxlen=self.MEMORY_LIMIT if self._path is not None else None
         )
-        self._lock = threading.Lock()
+        self._lock = make_lock("journal")
 
     # ------------------------------------------------------------------ #
     @property
@@ -120,10 +121,33 @@ class PlanJournal:
     # ------------------------------------------------------------------ #
     @staticmethod
     def load(path: PathLike) -> List[MaintenancePlan]:
-        """Read a journal file back into plans (skipping blank lines)."""
+        """Read a journal file back into plans (skipping blank lines).
+
+        Append-only journals can legitimately end mid-record: a crash while
+        :meth:`append` was writing leaves a torn final line.  That tail is
+        skipped — every complete earlier round is still returned.  An
+        undecodable line anywhere *before* the tail means the file is not a
+        plan journal (or was corrupted in place) and raises
+        :class:`~repro.exceptions.CacheError`; a missing or unreadable file
+        raises the underlying :class:`OSError`.
+        """
+        numbered = [
+            (lineno, line.strip())
+            for lineno, line in enumerate(
+                Path(path).read_text(encoding="utf-8").splitlines(), start=1
+            )
+            if line.strip()
+        ]
         plans: List[MaintenancePlan] = []
-        for line in Path(path).read_text(encoding="utf-8").splitlines():
-            line = line.strip()
-            if line:
-                plans.append(MaintenancePlan.from_record(json.loads(line)))
+        for position, (lineno, line) in enumerate(numbered):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if position == len(numbered) - 1:
+                    break  # torn tail of an interrupted append
+                raise CacheError(
+                    f"{path}: line {lineno} is not a journal record ({exc.msg}); "
+                    f"only the final line of a crashed append may be partial"
+                ) from exc
+            plans.append(MaintenancePlan.from_record(record))
         return plans

@@ -48,6 +48,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
+from ...analysis.runtime import make_lock
 from ...exceptions import CacheError
 from ..stores import WindowEntry
 from .engine import MaintenanceEngine
@@ -116,7 +117,7 @@ class MaintenanceScheduler:
         self._gc_lock = gc_lock
         self._journal = journal if journal is not None else PlanJournal()
         self._reports: List[MaintenanceReport] = []
-        self._state_lock = threading.Lock()
+        self._state_lock = make_lock("scheduler.state")
         self._total_maintenance_s = 0.0
         self.counters = SchedulerCounters()
 
@@ -249,7 +250,7 @@ class BackgroundMaintenanceScheduler(MaintenanceScheduler):
             queue.Queue()
         )
         self._worker: Optional[threading.Thread] = None
-        self._worker_lock = threading.Lock()
+        self._worker_lock = make_lock("scheduler.worker")
         self._failure: Optional[BaseException] = None
         self._closed = False
 

@@ -22,11 +22,11 @@ with the configured matcher.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Tuple
 
+from ..analysis.runtime import make_lock, make_rlock
 from ..graphs.graph import Graph
 from ..isomorphism.base import SubgraphMatcher
 from ..isomorphism.vf2_plus import VF2PlusMatcher
@@ -39,7 +39,7 @@ __all__ = ["ProcessorOutcome", "CacheProcessors"]
 # not duplicated per processor pair; GraphCache itself always resolves the
 # configured matcher and passes it in explicitly.
 _fallback_matcher: Optional[SubgraphMatcher] = None
-_fallback_matcher_lock = threading.Lock()
+_fallback_matcher_lock = make_lock("matcher.fallback")
 
 
 def _shared_fallback_matcher() -> SubgraphMatcher:
@@ -116,7 +116,7 @@ class CacheProcessors:
         self._memoize = memoize
         self._memo: Dict[Tuple[Graph, Graph], bool] = {}
         self._memo_hits = 0
-        self._memo_lock = threading.RLock()
+        self._memo_lock = make_rlock("processors.memo")
 
     @property
     def index(self) -> QueryGraphIndex:

@@ -50,12 +50,12 @@ or the twice-applied mutations.
 
 from __future__ import annotations
 
-import threading
 from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from ..analysis.runtime import make_condition, make_lock, make_rlock
 from ..ftv.features import path_features
 from ..ftv.trie import PathTrie
 from ..graphs.graph import Graph
@@ -220,13 +220,13 @@ class QueryGraphIndex:
         self._version = 0
         # Guards the published pointer and the per-buffer reader counts; the
         # condition wakes writers waiting for a retired buffer to drain.
-        self._read_cond = threading.Condition(threading.Lock())
+        self._read_cond = make_condition("index.readers")
         # Serializes writers; re-entrant so nested batch()/add() compose.
-        self._write_lock = threading.RLock()
+        self._write_lock = make_rlock("index.write")
         self._batch_depth = 0
         self._batch_journal: List[Tuple] = []
         self._feature_memo: Dict[Graph, Counter] = {}
-        self._memo_lock = threading.Lock()
+        self._memo_lock = make_lock("index.memo")
 
     # ------------------------------------------------------------------ #
     @property

@@ -13,9 +13,10 @@ set reduction ``R`` and estimated sub-iso cost reduction ``C``.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
+
+from ..analysis.runtime import make_rlock
 
 __all__ = ["TripletStore", "StatisticsManager", "CachedQueryStats"]
 
@@ -31,7 +32,7 @@ class TripletStore:
 
     def __init__(self) -> None:
         self._rows: Dict[int, Dict[str, object]] = {}
-        self._lock = threading.RLock()
+        self._lock = make_rlock("stats")
 
     def put(self, key: int, column: str, value: object) -> None:
         """Insert or overwrite a single triplet."""

@@ -28,11 +28,11 @@ store across threads.  Iteration yields a point-in-time snapshot.
 from __future__ import annotations
 
 import json
-import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Union
 
+from ..analysis.runtime import make_rlock
 from ..exceptions import CacheError
 from ..graphs.graph import Graph
 from ..graphs.io import graph_from_text, graph_to_text
@@ -137,7 +137,7 @@ class CacheStore:
         self._backend = (
             backend if backend is not None else create_backend("memory", CacheEntryCodec())
         )
-        self._lock = threading.RLock()
+        self._lock = make_rlock("store.cache")
 
     # ------------------------------------------------------------------ #
     @property
@@ -302,7 +302,7 @@ class WindowStore:
         self._backend = (
             backend if backend is not None else create_backend("memory", WindowEntryCodec())
         )
-        self._lock = threading.RLock()
+        self._lock = make_rlock("store.window")
 
     @property
     def capacity(self) -> int:

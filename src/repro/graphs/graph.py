@@ -20,10 +20,10 @@ for incremental construction with arbitrary vertex names.
 
 from __future__ import annotations
 
-import threading
 from collections import Counter
 from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
+from ..analysis.runtime import make_lock
 from ..exceptions import GraphError
 
 __all__ = ["Graph", "intern_label"]
@@ -35,7 +35,7 @@ Edge = Tuple[int, int]
 #: graphs, so matchers can compare labels across a (pattern, target) pair with
 #: a single int comparison instead of re-hashing the label objects.
 _LABEL_INTERN: Dict[object, int] = {}
-_LABEL_INTERN_LOCK = threading.Lock()
+_LABEL_INTERN_LOCK = make_lock("label.intern")
 
 
 def intern_label(label: object) -> int:

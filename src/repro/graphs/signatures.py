@@ -51,7 +51,7 @@ def degree_sequence_dominates(small: Graph, large: Graph) -> bool:
     large_seq = large.degree_sequence()
     if len(small_seq) > len(large_seq):
         return False
-    return all(s <= l for s, l in zip(small_seq, large_seq))
+    return all(s <= l for s, l in zip(small_seq, large_seq, strict=False))
 
 
 def could_be_subgraph(pattern: Graph, target: Graph) -> bool:

@@ -1,0 +1,23 @@
+"""Golden fixture: exactly one REPRO001 acquisition-order cycle (a<->b).
+
+The two lock names are not in the rank table, so only the cycle check —
+not the rank check — can catch the inversion.
+"""
+
+from repro.analysis.runtime import make_lock
+
+
+class CyclicOrder:
+    def __init__(self) -> None:
+        self._a = make_lock("fixture.cycle.a")
+        self._b = make_lock("fixture.cycle.b")
+
+    def forward(self) -> None:
+        with self._a:
+            with self._b:
+                pass
+
+    def backward(self) -> None:
+        with self._b:
+            with self._a:
+                pass

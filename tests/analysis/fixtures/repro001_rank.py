@@ -1,0 +1,14 @@
+"""Golden fixture: exactly one REPRO001 lock-rank violation (heap -> gc)."""
+
+from repro.analysis.runtime import make_rlock
+
+
+class BadNesting:
+    def __init__(self) -> None:
+        self._heap_lock = make_rlock("heap")
+        self._gc_lock = make_rlock("gc")
+
+    def violate(self) -> None:
+        with self._heap_lock:
+            with self._gc_lock:  # rank 0 under rank 30: hierarchy violation
+                pass

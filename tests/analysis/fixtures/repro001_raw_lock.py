@@ -1,0 +1,8 @@
+"""Golden fixture: exactly one REPRO001 undeclared (raw) lock constructor."""
+
+import threading
+
+
+class RawLockUser:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()  # bypasses the make_lock factory

@@ -1,0 +1,20 @@
+"""Golden fixture: exactly one REPRO002 blocking call under the GC lock.
+
+The blocking file I/O sits one ``self.`` call away from the lock region, so
+this also exercises the same-class transitive traversal.
+"""
+
+from repro.analysis.runtime import make_rlock
+
+
+class BlocksUnderGc:
+    def __init__(self) -> None:
+        self._gc_lock = make_rlock("gc")
+
+    def violate(self) -> None:
+        with self._gc_lock:
+            self._checkpoint()
+
+    def _checkpoint(self) -> None:
+        with open("/tmp/fixture-checkpoint", "w", encoding="utf-8") as handle:
+            handle.write("state")

@@ -1,0 +1,25 @@
+"""Golden fixture: exactly one REPRO003 mutation reachable from decide().
+
+The mutation hides behind a helper call, exercising the reachability
+traversal (decide -> _cleanup -> UtilityHeap.remove).
+"""
+
+
+class UtilityHeap:
+    def remove(self, serial: int) -> None:
+        pass
+
+
+class ImpureEngine:
+    def __init__(self, heap: UtilityHeap) -> None:
+        self._heap = heap
+
+    def decide(self, window_entries: list) -> list:
+        self._cleanup()
+        return window_entries
+
+    def _cleanup(self) -> None:
+        self._heap.remove(0)
+
+    def apply(self, plan: list) -> None:
+        pass

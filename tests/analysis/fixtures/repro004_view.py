@@ -1,0 +1,15 @@
+"""Golden fixture: exactly one REPRO004 mutation of a pinned IndexView."""
+
+
+class QueryGraphIndex:
+    def view(self):
+        pass
+
+
+class ViewMutator:
+    def __init__(self, index: QueryGraphIndex) -> None:
+        self._index = index
+
+    def violate(self) -> None:
+        with self._index.view() as snapshot:
+            snapshot.remove(3)

@@ -1,0 +1,5 @@
+"""Golden fixture: exactly one REPRO005 import of a deprecated PR-4 shim."""
+
+from repro.core.window import WindowManager
+
+__all__ = ["WindowManager"]

@@ -1,0 +1,16 @@
+"""Golden fixture: exactly one REPRO006 backend access outside the store lock."""
+
+from repro.analysis.runtime import make_rlock
+
+
+class LeakyStore:
+    def __init__(self, backend) -> None:
+        self._backend = backend
+        self._lock = make_rlock("store.cache")
+
+    def compliant(self) -> list:
+        with self._lock:
+            return self._backend.keys()
+
+    def violate(self) -> list:
+        return self._backend.keys()

@@ -111,7 +111,7 @@ class TestHarness:
         method, workload = experiment_parts
         config = GraphCacheConfig(cache_capacity=5, window_size=2, warmup_windows=0)
         result = run_experiment("answers", method, workload, config)
-        for execution, cached in zip(result.baseline_executions, result.cached_results):
+        for execution, cached in zip(result.baseline_executions, result.cached_results, strict=True):
             assert execution.answer_ids == cached.answer_ids
 
 

@@ -52,21 +52,21 @@ class TestAnswerEquivalence:
             method,
             GraphCacheConfig(cache_capacity=8, window_size=4, replacement_policy=policy),
         )
-        for query, answer in zip(module_workload, expected):
+        for query, answer in zip(module_workload, expected, strict=True):
             assert cache.query(query).answer_ids == answer
 
     def test_ftv_method_ggsx(self, module_dataset, module_workload):
         method = GraphGrepSX(module_dataset, max_path_length=3)
         expected = baseline_answers(method, module_workload)
         cache = GraphCache(method, GraphCacheConfig(cache_capacity=8, window_size=4))
-        for query, answer in zip(module_workload, expected):
+        for query, answer in zip(module_workload, expected, strict=True):
             assert cache.query(query).answer_ids == answer
 
     def test_ftv_method_ctindex(self, module_dataset, module_workload):
         method = CTIndex(module_dataset, max_tree_size=3, max_cycle_size=4, fingerprint_bits=1024)
         expected = baseline_answers(method, module_workload)
         cache = GraphCache(method, GraphCacheConfig(cache_capacity=8, window_size=4))
-        for query, answer in zip(module_workload, expected):
+        for query, answer in zip(module_workload, expected, strict=True):
             assert cache.query(query).answer_ids == answer
 
     def test_with_admission_control(self, module_dataset, module_workload):
@@ -79,14 +79,14 @@ class TestAnswerEquivalence:
                 admission_expensive_fraction=0.3,
             ),
         )
-        for query, answer in zip(module_workload, expected):
+        for query, answer in zip(module_workload, expected, strict=True):
             assert cache.query(query).answer_ids == answer
 
     def test_tiny_cache_and_window(self, module_dataset, module_workload):
         method = SIMethod(module_dataset, matcher="vf2plus")
         expected = baseline_answers(method, module_workload)
         cache = GraphCache(method, GraphCacheConfig(cache_capacity=1, window_size=1))
-        for query, answer in zip(module_workload, expected):
+        for query, answer in zip(module_workload, expected, strict=True):
             assert cache.query(query).answer_ids == answer
 
     def test_supergraph_query_mode(self, module_dataset):
@@ -102,7 +102,7 @@ class TestAnswerEquivalence:
             method,
             GraphCacheConfig(cache_capacity=6, window_size=3, query_mode="supergraph"),
         )
-        for query, answer in zip(queries, expected):
+        for query, answer in zip(queries, expected, strict=True):
             assert cache.query(query).answer_ids == answer
 
     def test_supergraph_mode_requires_capable_method(self, module_dataset):
@@ -138,7 +138,7 @@ class TestPropertyBased:
                 replacement_policy=policy,
             ),
         )
-        for query, answer in zip(workload, expected):
+        for query, answer in zip(workload, expected, strict=True):
             result = cache.query(query)
             assert result.answer_ids == answer
             # Internal consistency of the per-query accounting.

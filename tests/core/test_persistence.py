@@ -249,7 +249,7 @@ class TestSnapshotFormatV2:
         restored = load_cache(path, SIMethod(dataset, matcher="vf2plus"))
         assert isinstance(restored, ShardedGraphCache)
         assert restored.shard_count == 3
-        for original, loaded in zip(sharded.shards, restored.shards):
+        for original, loaded in zip(sharded.shards, restored.shards, strict=True):
             assert loaded.cached_serials == original.cached_serials
             assert loaded.current_serial == original.current_serial
             for serial in original.cached_serials:

@@ -82,7 +82,7 @@ class TestSerialConcurrentEquivalence:
         concurrent_results = service.query_many(list(workload), jobs=jobs)
 
         assert len(concurrent_results) == len(serial_results)
-        for serial, concurrent in zip(serial_results, concurrent_results):
+        for serial, concurrent in zip(serial_results, concurrent_results, strict=True):
             assert concurrent.answer_ids == serial.answer_ids
             assert concurrent.method_candidates == serial.method_candidates
             assert concurrent.final_candidates == serial.final_candidates

@@ -123,7 +123,7 @@ class TestGraphCacheMemoIntegration:
         cache, pool, results = cache_run
         first_pass = results[: len(pool)]
         third_pass = results[2 * len(pool):]
-        for a, b in zip(first_pass, third_pass):
+        for a, b in zip(first_pass, third_pass, strict=True):
             assert a.answer_ids == b.answer_ids
 
     def test_memo_counters_flow_to_runtime_statistics(self, cache_run):

@@ -89,7 +89,7 @@ class TestCandidateGeneration:
             )
             idx.add(serial, graph)
             cached.append((serial, graph))
-        for trial in range(10):
+        for _trial in range(10):
             query = random_connected_graph(rng.randint(3, 12), 2.4, ["C", "O"], rng)
             supers = idx.candidate_supergraphs(query)
             subs = idx.candidate_subgraphs(query)

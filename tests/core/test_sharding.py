@@ -134,7 +134,7 @@ class TestCounterIdentity:
         sharded = ShardedGraphCache(_method(), config)
         sharded_results = [sharded.query(q) for q in workload]
 
-        for mine, theirs in zip(sharded_results, plain_results):
+        for mine, theirs in zip(sharded_results, plain_results, strict=True):
             assert _result_fields(mine) == _result_fields(theirs)
         assert _counters(sharded) == _counters(plain)
         plain.close()
@@ -160,7 +160,7 @@ class TestCounterIdentity:
 
         service = GraphCacheService(ShardedGraphCache(_method(), config))
         concurrent_results = service.query_many(workload, jobs=2)
-        for mine, theirs in zip(concurrent_results, plain_results):
+        for mine, theirs in zip(concurrent_results, plain_results, strict=True):
             assert _result_fields(mine) == _result_fields(theirs)
         assert _counters(service.cache) == _counters(plain)
 

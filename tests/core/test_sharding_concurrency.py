@@ -153,7 +153,7 @@ class TestShardedDeterminism:
         concurrent = ShardedGraphCache(SIMethod(_dataset(), matcher="vf2plus"), config)
         concurrent_results = GraphCacheService(concurrent).query_many(workload, jobs=4)
 
-        for mine, theirs in zip(concurrent_results, serial_results):
+        for mine, theirs in zip(concurrent_results, serial_results, strict=True):
             assert mine.answer_ids == theirs.answer_ids
             assert mine.serial == theirs.serial
             assert mine.method_candidates == theirs.method_candidates

@@ -31,7 +31,7 @@ class TestZipfianWeights:
 
     def test_weights_decreasing(self):
         weights = zipfian_label_weights(8, skew=1.0)
-        assert all(a >= b for a, b in zip(weights, weights[1:]))
+        assert all(a >= b for a, b in zip(weights, weights[1:], strict=False))
 
     def test_zero_skew_uniformish(self):
         weights = zipfian_label_weights(5, skew=0.0)
@@ -164,7 +164,7 @@ class TestStandInDatasets:
     def test_deterministic_given_seed(self):
         a = aids_like(scale=0.05, seed=3)
         b = aids_like(scale=0.05, seed=3)
-        assert all(x == y for x, y in zip(a, b))
+        assert all(x == y for x, y in zip(a, b, strict=True))
 
     def test_dataset_by_name(self):
         dataset = dataset_by_name("AIDS", scale=0.05)
@@ -173,7 +173,7 @@ class TestStandInDatasets:
     def test_dataset_by_name_with_seed(self):
         a = dataset_by_name("pcm", scale=0.15, seed=1)
         b = dataset_by_name("pcm", scale=0.15, seed=1)
-        assert all(x == y for x, y in zip(a, b))
+        assert all(x == y for x, y in zip(a, b, strict=True))
 
     def test_dataset_by_name_unknown(self):
         with pytest.raises(ValueError):

@@ -96,7 +96,7 @@ class TestRoundTrip:
         loaded = load_dataset(path, name="reloaded")
         assert len(loaded) == len(handmade_dataset)
         assert loaded.name == "reloaded"
-        for original, restored in zip(handmade_dataset, loaded):
+        for original, restored in zip(handmade_dataset, loaded, strict=True):
             assert original == restored
 
     def test_load_dataset_default_name(self, tmp_path, handmade_dataset):

@@ -58,7 +58,7 @@ class TestCouldBeSubgraph:
         """could_be_subgraph must say "maybe" whenever containment truly holds."""
         matcher = VF2PlusMatcher()
         rng = random.Random(5)
-        for trial in range(20):
+        for _trial in range(20):
             target = random_connected_graph(
                 order=rng.randint(6, 14),
                 average_degree=2.5,

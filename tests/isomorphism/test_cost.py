@@ -33,7 +33,7 @@ class TestEstimateSubisoCost:
 
     def test_monotone_in_target_size(self):
         costs = [estimate_subiso_cost(5, 3, n) for n in range(5, 30, 5)]
-        assert all(a < b for a, b in zip(costs, costs[1:]))
+        assert all(a < b for a, b in zip(costs, costs[1:], strict=False))
 
     def test_more_labels_cheaper(self):
         assert estimate_subiso_cost(5, 4, 20) < estimate_subiso_cost(5, 2, 20)

@@ -124,3 +124,59 @@ class TestMaintenanceCommand:
         code = main(["maintenance"])
         assert code == 2
         assert "provide a dataset" in capsys.readouterr().err
+
+
+class TestMaintenanceJournalRobustness:
+    """``maintenance --journal`` on missing / empty / damaged journal files."""
+
+    @staticmethod
+    def _record_line(serial: int) -> str:
+        import json
+
+        from repro.core.policies.plan import MaintenancePlan
+
+        plan = MaintenancePlan(
+            current_serial=serial,
+            window_serials=(serial - 1, serial),
+            admitted_serials=(serial,),
+            rejected_serials=(serial - 1,),
+            evicted_serials=(),
+            policy="hd",
+        )
+        return json.dumps(plan.to_record(), sort_keys=True)
+
+    def test_missing_journal_file_is_a_clear_error(self, capsys, tmp_path):
+        code = main(["maintenance", "--journal", str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "journal file not found" in err and "absent.jsonl" in err
+
+    def test_empty_journal_file_reports_no_rounds(self, capsys, tmp_path):
+        journal_path = tmp_path / "empty.jsonl"
+        journal_path.write_text("")
+        assert main(["maintenance", "--journal", str(journal_path)]) == 0
+        assert "empty journal" in capsys.readouterr().out
+
+    def test_truncated_last_line_is_skipped(self, capsys, tmp_path):
+        journal_path = tmp_path / "torn.jsonl"
+        journal_path.write_text(
+            self._record_line(2) + "\n"
+            + self._record_line(4) + "\n"
+            + '{"current_serial": 6, "window_se'  # crash mid-append
+        )
+        assert main(["maintenance", "--journal", str(journal_path)]) == 0
+        output = capsys.readouterr().out
+        assert output.count("hd") == 2  # both complete rounds decoded
+
+    def test_corrupt_middle_line_is_rejected_with_line_number(
+        self, capsys, tmp_path
+    ):
+        journal_path = tmp_path / "corrupt.jsonl"
+        journal_path.write_text(
+            self._record_line(2) + "\n"
+            + "definitely not json\n"
+            + self._record_line(4) + "\n"
+        )
+        assert main(["maintenance", "--journal", str(journal_path)]) == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err and "journal record" in err

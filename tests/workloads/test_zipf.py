@@ -17,7 +17,7 @@ class TestZipfWeights:
 
     def test_weights_monotone_decreasing(self):
         weights = zipf_weights(20, 1.1)
-        assert all(a >= b for a, b in zip(weights, weights[1:]))
+        assert all(a >= b for a, b in zip(weights, weights[1:], strict=False))
 
     def test_alpha_zero_is_uniform(self):
         weights = zipf_weights(4, 0.0)
