@@ -9,8 +9,11 @@ experiments) only pay for them once per pytest session.
 
 from __future__ import annotations
 
+import json
+import platform
 from functools import lru_cache
-from typing import Dict, Tuple
+from pathlib import Path
+from typing import Any, Dict, Tuple
 
 from repro.bench.harness import ExperimentResult, run_baseline, run_experiment
 from repro.bench.scenarios import (
@@ -26,6 +29,7 @@ __all__ = [
     "experiment_cell",
     "baseline_for",
     "work_counters",
+    "emit_bench_json",
     "WORKLOAD_LABELS",
 ]
 
@@ -113,3 +117,27 @@ def work_counters(cell: ExperimentResult) -> Dict[str, float]:
         "containment_tests": float(runtime.containment_tests),
         "containment_memo_hits": float(runtime.containment_memo_hits),
     }
+
+
+def emit_bench_json(name: str, payload: Dict[str, Any]) -> Path:
+    """Write one ``BENCH_<name>.json`` artifact at the repository root.
+
+    The artifact is the checked-in, machine-readable record of a benchmark
+    run (the printed tables stay the human-facing output).  A small
+    provenance block (python/platform) is added so a checked-in figure can
+    be told apart from one regenerated on different hardware; measured
+    wall-clock numbers inside ``payload`` are informational, while counter
+    fields are exact and machine-independent.
+    """
+    root = Path(__file__).resolve().parent.parent
+    target = root / f"BENCH_{name}.json"
+    document = {
+        "benchmark": name,
+        "provenance": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        **payload,
+    }
+    target.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    return target

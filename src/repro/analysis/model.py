@@ -102,6 +102,7 @@ class FunctionModel:
     calls: List[CallSite] = field(default_factory=list)
     attr_writes: List[AttrWrite] = field(default_factory=list)
     view_vars: Dict[str, int] = field(default_factory=dict)
+    packed_vars: Dict[str, int] = field(default_factory=dict)
     holds: Set[str] = field(default_factory=set)
     raw_lock_lines: List[int] = field(default_factory=list)
 
@@ -400,15 +401,25 @@ class _FunctionWalker(ast.NodeVisitor):
                 self.fn.attr_writes.append(
                     AttrWrite(recv=path[:-1], attr=path[-1], line=target.lineno)
                 )
-            # local variable types + view bindings
+            # local variable types + view/packed bindings
             if len(path) == 1:
                 types = _constructed_types(value, self.fn.param_types)
                 if types:
                     self.fn.local_types.setdefault(path[0], set()).update(types)
+                if "PackedGraph" in types:
+                    self.fn.packed_vars.setdefault(path[0], value.lineno)
                 if isinstance(value, ast.Call):
                     func = value.func
                     if isinstance(func, ast.Attribute) and func.attr == "acquire_view":
                         self.fn.view_vars.setdefault(path[0], value.lineno)
+                    if isinstance(func, ast.Attribute) and (
+                        func.attr in ("to_packed", "packed_at")
+                        or (
+                            isinstance(func.value, ast.Name)
+                            and func.value.id == "PackedGraph"
+                        )
+                    ):
+                        self.fn.packed_vars.setdefault(path[0], value.lineno)
 
     def visit_Delete(self, node: ast.Delete) -> None:
         for target in node.targets:
@@ -495,6 +506,8 @@ def _extract_function(
             fn.param_types[arg.arg] = types
             if "IndexView" in types:
                 fn.view_vars.setdefault(arg.arg, node.lineno)
+            if "PackedGraph" in types:
+                fn.packed_vars.setdefault(arg.arg, node.lineno)
     fn.return_types = _annotation_types(node.returns)
     for line in (node.lineno, node.lineno - 1):
         fn.holds |= model.holds_hints.get(line, set())

@@ -25,6 +25,13 @@ REPRO005  an internal import of one of the four deprecated PR-4 shim
 REPRO006  a method call on ``self._backend`` outside the owning store's
           ``self._lock`` — compound store reads must happen under the store
           lock.
+REPRO007  mutation of a ``PackedGraph`` (bound by a ``PackedGraph``
+          annotation, ``graph.to_packed()``, ``arena.packed_at()`` or a
+          ``PackedGraph.*`` constructor) — an attribute write, an element
+          write through one of its numpy views, or an in-place numpy
+          mutator call.  Packed graphs may alias a read-only arena mmap
+          shared across processes, so *any* write is a violation (the
+          arena-backed twin of REPRO004).
 ========  ==================================================================
 
 Resolution is best-effort and *sound-where-it-claims*: a call that cannot
@@ -66,6 +73,7 @@ TRACKED_MUTATORS: Dict[str, Set[str]] = {
     "TripletStore": {"add", "remove", "clear", "update"},
     "InMemoryBackend": {"put", "delete", "clear", "replace_all", "close"},
     "SQLiteBackend": {"put", "delete", "clear", "replace_all", "close"},
+    "MmapBackend": {"put", "delete", "clear", "replace_all", "seal", "close"},
 }
 
 #: Mutating surface of a pinned IndexView (REPRO004): a snapshot is
@@ -79,6 +87,20 @@ VIEW_MUTATORS = {
     "publish",
     "register",
     "apply_delta",
+}
+
+#: In-place numpy mutators (REPRO007): calling any of these on a
+#: ``PackedGraph`` or one of its array views writes through storage that may
+#: be a read-only arena mmap shared across processes.
+PACKED_MUTATORS = {
+    "fill",
+    "sort",
+    "put",
+    "itemset",
+    "setflags",
+    "resize",
+    "partition",
+    "byteswap",
 }
 
 _THREADISH = re.compile(r"thread|worker|proc", re.IGNORECASE)
@@ -569,6 +591,51 @@ def _rule_view_immutability(prog: Program, findings: List[Finding]) -> None:
                 )
 
 
+def _rule_packed_immutability(prog: Program, findings: List[Finding]) -> None:
+    """REPRO007: mutating a PackedGraph or writing through its arena views."""
+    for func in prog.funcs.values():
+        packed = func.fn.packed_vars
+        if not packed:
+            continue
+        for call in func.fn.calls:
+            if (
+                call.recv
+                and call.recv[0] in packed
+                and call.method in PACKED_MUTATORS
+            ):
+                findings.append(
+                    Finding(
+                        rule="REPRO007",
+                        path=str(func.module.path),
+                        line=call.line,
+                        symbol=f"{func.fn.qualname}:{'.'.join(call.recv)}.{call.method}",
+                        message=(
+                            f"in-place numpy mutator {'.'.join(call.recv)}."
+                            f"{call.method}() on a PackedGraph in "
+                            f"{func.fn.qualname}; packed graphs may alias a "
+                            f"read-only arena mmap — rebuild via "
+                            f"Graph.to_packed() instead"
+                        ),
+                    )
+                )
+        for write in func.fn.attr_writes:
+            if write.recv and write.recv[0] in packed:
+                findings.append(
+                    Finding(
+                        rule="REPRO007",
+                        path=str(func.module.path),
+                        line=write.line,
+                        symbol=f"{func.fn.qualname}:{'.'.join(write.recv)}.{write.attr}=",
+                        message=(
+                            f"write {'.'.join(write.recv)}.{write.attr} on a "
+                            f"PackedGraph in {func.fn.qualname}; packed graphs "
+                            f"are frozen and may alias a read-only arena mmap "
+                            f"shared across processes"
+                        ),
+                    )
+                )
+
+
 def _rule_shim_imports(prog: Program, findings: List[Finding]) -> None:
     """REPRO005: internal imports of the deprecated PR-4 shim modules."""
     for module in prog.modules:
@@ -631,6 +698,7 @@ def run_rules(modules: Iterable[ModuleModel]) -> List[Finding]:
     _rule_blocking(prog, findings)
     _rule_decide_purity(prog, findings)
     _rule_view_immutability(prog, findings)
+    _rule_packed_immutability(prog, findings)
     _rule_shim_imports(prog, findings)
     _rule_store_lock(prog, findings)
     return findings

@@ -17,6 +17,12 @@ a small keyed-record interface with two implementations:
   the full store contents — the prerequisite for larger-than-RAM caches and
   for warm restarts that do not re-parse a JSON snapshot (the
   persistent-memory-engine direction of WorldDB in PAPERS.md).
+* :class:`MmapBackend` — query graphs as packed CSR records in an
+  append-only :class:`~repro.core.backends.arena.GraphArena`.  ``get()``
+  decodes lazily to zero-copy numpy views over the segment; once sealed the
+  segment is a single read-only ``np.memmap`` that any number of processes
+  can attach and share pages over — the storage substrate of the
+  multi-process serving path (:mod:`repro.core.workers`).
 
 Backends store *entries* (opaque typed objects such as
 :class:`~repro.core.stores.CacheEntry`) keyed by the query's serial number
@@ -27,8 +33,8 @@ decisions or work counters.  Serialization is delegated to an
 entirely.
 
 Choosing a backend is a :class:`~repro.core.config.GraphCacheConfig` concern
-(``backend="memory" | "sqlite"``, optional ``backend_path`` for a durable
-SQLite file); :func:`create_backend` is the single construction point.
+(``backend="memory" | "sqlite" | "mmap"``, optional ``backend_path`` for a
+durable file); :func:`create_backend` is the single construction point.
 """
 
 from __future__ import annotations
@@ -36,22 +42,27 @@ from __future__ import annotations
 from typing import Optional
 
 from ...exceptions import CacheError
+from .arena import ArenaExtent, GraphArena
 from .base import BackendOpCounts, EntryCodec, StorageBackend
 from .memory import InMemoryBackend
+from .mmapped import MmapBackend
 from .sqlite import SQLiteBackend
 
 __all__ = [
     "AVAILABLE_BACKENDS",
+    "ArenaExtent",
     "BackendOpCounts",
     "EntryCodec",
+    "GraphArena",
     "StorageBackend",
     "InMemoryBackend",
+    "MmapBackend",
     "SQLiteBackend",
     "create_backend",
 ]
 
 #: Registry names accepted by :func:`create_backend` and the configuration.
-AVAILABLE_BACKENDS = ("memory", "sqlite")
+AVAILABLE_BACKENDS = ("memory", "sqlite", "mmap")
 
 
 def create_backend(
@@ -65,21 +76,24 @@ def create_backend(
     Parameters
     ----------
     kind:
-        ``"memory"`` or ``"sqlite"``.
+        ``"memory"``, ``"sqlite"`` or ``"mmap"``.
     codec:
         The entry codec of the owning store (used by serializing backends).
     path:
-        SQLite only: database file; ``None`` keeps the database in memory
+        SQLite: database file; mmap: base path the arena segment and its
+        sidecar are derived from.  ``None`` keeps the data in memory
         (useful for tests and for bounded-RAM behaviour without durability).
     table:
-        SQLite only: table name, so several stores (cache entries, window
-        entries, shards) can share one database file.
+        Logical table name, so several stores (cache entries, window
+        entries, shards) can share one database file / base path.
     """
     name = kind.lower()
     if name == "memory":
         return InMemoryBackend(codec)
     if name == "sqlite":
         return SQLiteBackend(codec, path=path, table=table)
+    if name == "mmap":
+        return MmapBackend(codec, path=path, table=table)
     raise CacheError(
         f"unknown storage backend {kind!r}; available: {', '.join(AVAILABLE_BACKENDS)}"
     )

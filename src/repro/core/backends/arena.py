@@ -1,0 +1,288 @@
+"""Append-only packed-graph arena segments with atomic publish-on-seal.
+
+A :class:`GraphArena` is the storage substrate of the mmap backend: packed
+graph records (:meth:`~repro.graphs.packed.PackedGraph.to_bytes`) are
+appended to a write-once byte segment and addressed by ``(offset, length)``
+extents.  The lifecycle has two phases:
+
+* **open** — appends go to an in-RAM tail buffer; reads are zero-copy numpy
+  views over that buffer.  Deleting an entry only marks its extent dead
+  (:meth:`free`); the bytes stay until the next seal.
+* **sealed** — :meth:`seal` compacts the live extents into a single segment
+  file (fixed header, packed records, trailing JSON offset table) written to
+  a temp file and published atomically with ``os.replace``, then re-opens it
+  as a read-only ``np.memmap``.  Any process may :meth:`attach` the sealed
+  file and share the pages; appends after sealing land in a fresh
+  process-local tail, so read-only workers keep serving full pipelines
+  (their admissions stay private) while the sealed prefix is shared.
+
+Offsets are payload-relative and stable within a phase; sealing compacts
+dead extents away and returns an old→new offset remap for the owner's
+offset table.  The arena itself is deliberately lock-free: the owning
+:class:`~repro.core.backends.mmapped.MmapBackend` serialises access under
+its ``backend`` lock, exactly like the dict inside the in-memory backend.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ...exceptions import CacheError
+from ...graphs.packed import PackedGraph
+
+__all__ = ["ArenaExtent", "GraphArena"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Segment-file header: 8-byte magic + four little-endian int64 fields
+#: (version, payload length, table offset, table length).
+_MAGIC = b"GCARENA1"
+_HEADER_BYTES = 8 + 4 * 8
+_VERSION = 1
+
+
+class ArenaExtent(NamedTuple):
+    """Address of one packed record inside an arena (payload-relative)."""
+
+    offset: int
+    length: int
+
+
+class GraphArena:
+    """One append-only packed-graph segment (see module docstring)."""
+
+    def __init__(self, path: Optional[PathLike] = None) -> None:
+        self._path: Optional[Path] = Path(path) if path is not None else None
+        self._base: Optional[np.memmap] = None
+        self._base_length = 0  # payload bytes served by the sealed mmap
+        # Tail records are kept as one immutable bytes object per append:
+        # zero-copy views stay valid forever and never block later appends
+        # (a shared bytearray would raise BufferError on resize while any
+        # numpy view over it is alive).
+        self._tail: Dict[int, bytes] = {}
+        self._tail_end = 0  # payload-relative offset of the next append
+        self._live_bytes = 0
+        self._dead_bytes = 0
+        self._extents: Dict[int, ArenaExtent] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> Optional[Path]:
+        """Segment file this arena seals to / was attached from."""
+        return self._path
+
+    @property
+    def sealed(self) -> bool:
+        """Whether a sealed segment file backs the arena's base region."""
+        return self._base is not None
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes addressable through the arena (sealed base + tail)."""
+        return self._tail_end if self._tail else self._base_length
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes referenced by live extents."""
+        return self._live_bytes
+
+    @property
+    def dead_bytes(self) -> int:
+        """Bytes of freed extents awaiting reclamation by the next seal."""
+        return self._dead_bytes
+
+    # ------------------------------------------------------------------ #
+    # Appending / freeing
+    # ------------------------------------------------------------------ #
+    def append(self, payload: bytes) -> ArenaExtent:
+        """Append one packed record; returns its extent."""
+        if len(payload) % 8:
+            raise CacheError("arena records must be 8-byte aligned")
+        offset = max(self._tail_end, self._base_length)
+        payload = bytes(payload)
+        self._tail[offset] = payload
+        self._tail_end = offset + len(payload)
+        extent = ArenaExtent(offset, len(payload))
+        self._extents[offset] = extent
+        self._live_bytes += len(payload)
+        return extent
+
+    def append_graph(self, graph) -> ArenaExtent:
+        """Pack ``graph`` (a :class:`~repro.graphs.graph.Graph`) and append it."""
+        return self.append(graph.to_packed().to_bytes())
+
+    def free(self, extent: ArenaExtent) -> None:
+        """Mark an extent dead.
+
+        Tail records are dropped immediately (their chunk is private);
+        sealed-region extents only stop being counted live — the bytes stay
+        in the segment file until the next :meth:`seal` compacts them away.
+        """
+        self._live_bytes -= extent.length
+        self._extents.pop(extent.offset, None)
+        if self._tail.pop(extent.offset, None) is None:
+            self._dead_bytes += extent.length
+
+    # ------------------------------------------------------------------ #
+    # Zero-copy reads
+    # ------------------------------------------------------------------ #
+    def packed_at(self, extent: ArenaExtent) -> PackedGraph:
+        """Open the record at ``extent`` as a zero-copy :class:`PackedGraph`."""
+        offset, length = extent
+        if offset < self._base_length:
+            if offset + length > self._base_length:
+                raise CacheError(f"arena extent {extent} crosses the sealed boundary")
+            return PackedGraph.from_buffer(self._base, _HEADER_BYTES + offset)
+        chunk = self._tail.get(offset)
+        if chunk is None or len(chunk) != length:
+            raise CacheError(f"arena extent {extent} is not a live tail record")
+        return PackedGraph.from_buffer(chunk, 0)
+
+    def graph_at(self, extent: ArenaExtent):
+        """Decode the record at ``extent`` straight into a ``Graph``.
+
+        Uses :meth:`PackedGraph.decode_graph`, the struct-unpacking fast
+        path, instead of materialising intermediate numpy views first.
+        """
+        offset, length = extent
+        if offset < self._base_length:
+            if offset + length > self._base_length:
+                raise CacheError(f"arena extent {extent} crosses the sealed boundary")
+            return PackedGraph.decode_graph(self._base, _HEADER_BYTES + offset)
+        chunk = self._tail.get(offset)
+        if chunk is None or len(chunk) != length:
+            raise CacheError(f"arena extent {extent} is not a live tail record")
+        return PackedGraph.decode_graph(chunk, 0)
+
+    def bytes_at(self, extent: ArenaExtent) -> bytes:
+        """Copy out the raw record bytes at ``extent`` (seal/compact path)."""
+        offset, length = extent
+        if offset < self._base_length:
+            view = memoryview(self._base)
+            start = _HEADER_BYTES + offset
+            return bytes(view[start : start + length])
+        chunk = self._tail.get(offset)
+        if chunk is None or len(chunk) != length:
+            raise CacheError(f"arena extent {extent} is not a live tail record")
+        return chunk
+
+    # ------------------------------------------------------------------ #
+    # Seal / attach lifecycle
+    # ------------------------------------------------------------------ #
+    def seal(
+        self,
+        live: Sequence[ArenaExtent],
+        path: Optional[PathLike] = None,
+    ) -> Dict[int, int]:
+        """Compact ``live`` extents into the segment file and publish it.
+
+        The records are rewritten densely in the given order; dead extents
+        are reclaimed.  The file is written to a temp file in the target
+        directory and moved into place with ``os.replace``, so readers only
+        ever observe a complete segment.  Afterwards the arena serves the
+        sealed file through a read-only ``np.memmap`` and starts an empty
+        tail.  Returns the ``old offset -> new offset`` remap.
+        """
+        target = Path(path) if path is not None else self._path
+        if target is None:
+            raise CacheError("cannot seal an arena without a segment path")
+        records: List[Tuple[ArenaExtent, bytes]] = [
+            (extent, self.bytes_at(extent)) for extent in live
+        ]
+        remap: Dict[int, int] = {}
+        position = 0
+        for extent, payload in records:
+            remap[extent.offset] = position
+            position += len(payload)
+        table = {
+            "version": _VERSION,
+            "graphs": [
+                [remap[extent.offset], extent.length] for extent, _ in records
+            ],
+        }
+        table_blob = json.dumps(table).encode("utf-8")
+        header = _MAGIC + np.array(
+            [_VERSION, position, _HEADER_BYTES + position, len(table_blob)],
+            dtype="<i8",
+        ).tobytes()
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(target.parent), prefix=target.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as stream:
+                stream.write(header)
+                for _, payload in records:
+                    stream.write(payload)
+                stream.write(table_blob)
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(tmp_name, target)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        self._path = target
+        self._open_base(target, position)
+        self._tail = {}
+        self._tail_end = 0
+        self._extents = {
+            remap[extent.offset]: ArenaExtent(remap[extent.offset], extent.length)
+            for extent, _ in records
+        }
+        self._live_bytes = position
+        self._dead_bytes = 0
+        return remap
+
+    @classmethod
+    def attach(cls, path: PathLike) -> "GraphArena":
+        """Open a sealed segment file read-only (shared pages across processes)."""
+        arena = cls(path)
+        raw = Path(path).read_bytes()[:_HEADER_BYTES]
+        if len(raw) < _HEADER_BYTES or raw[:8] != _MAGIC:
+            raise CacheError(f"{path}: not a graph-arena segment file")
+        version, payload_length, table_offset, table_length = np.frombuffer(
+            raw, dtype="<i8", count=4, offset=8
+        ).tolist()
+        if version != _VERSION:
+            raise CacheError(f"{path}: unsupported arena version {version}")
+        arena._open_base(Path(path), int(payload_length))
+        with open(path, "rb") as stream:
+            stream.seek(int(table_offset))
+            table = json.loads(stream.read(int(table_length)).decode("utf-8"))
+        arena._extents = {
+            int(o): ArenaExtent(int(o), int(n)) for o, n in table["graphs"]
+        }
+        arena._live_bytes = sum(
+            extent.length for extent in arena._extents.values()
+        )
+        return arena
+
+    def extents(self) -> List[ArenaExtent]:
+        """Extents of every live record, in append order (the offset table)."""
+        return list(self._extents.values())
+
+    def _open_base(self, path: Path, payload_length: int) -> None:
+        self.close()
+        self._base = np.memmap(path, dtype=np.uint8, mode="r")
+        self._base_length = payload_length
+
+    def close(self) -> None:
+        """Release the mmap (the tail buffer stays usable)."""
+        if self._base is not None:
+            # np.memmap has no public close; dropping the reference unmaps.
+            self._base = None
+            self._base_length = 0
+
+    def __repr__(self) -> str:
+        state = "sealed" if self.sealed else "open"
+        return (
+            f"<GraphArena {state} path={str(self._path) if self._path else None!r} "
+            f"live={self._live_bytes}B dead={self._dead_bytes}B>"
+        )

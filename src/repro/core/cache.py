@@ -39,7 +39,7 @@ from ..isomorphism.base import SubgraphMatcher
 from ..isomorphism.cost import estimate_subiso_cost
 from ..isomorphism.registry import matcher_by_name
 from ..methods.base import Method
-from .backends import create_backend
+from .backends import StorageBackend, create_backend
 from .config import GraphCacheConfig
 from .pipeline import (
     CommitStage,
@@ -665,6 +665,24 @@ class GraphCache:
         self._pipeline.close()
         self._cache_store.close()
         self._window_store.close()
+
+    def storage_backends(self) -> Tuple[StorageBackend, StorageBackend]:
+        """The (cache, window) store backends — the public data-layer surface."""
+        return (self._cache_store.backend, self._window_store.backend)
+
+    def seal_storage(self) -> None:
+        """Seal sealable storage backends to their segment files.
+
+        For the mmap backend this compacts each store's arena into its
+        read-only segment (atomic publish) so other processes can attach it;
+        backends without a ``seal`` method are left untouched.  Call with
+        maintenance quiescent (e.g. right before :meth:`close`, or between
+        query batches in ``sync`` maintenance mode).
+        """
+        for backend in self.storage_backends():
+            seal = getattr(backend, "seal", None)
+            if seal is not None:
+                seal()
 
     def results(self) -> List[CacheQueryResult]:
         """Per-query results since the cache was created."""

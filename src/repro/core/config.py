@@ -27,7 +27,7 @@ _VALID_MODES = ("subgraph", "supergraph")
 _VALID_POLICIES = ("lru", "pop", "pin", "pinc", "hd")
 _VALID_ADMISSION_KINDS = ("threshold", "adaptive")
 _VALID_EXECUTION_MODES = ("serial", "parallel")
-_VALID_BACKENDS = ("memory", "sqlite")
+_VALID_BACKENDS = ("memory", "sqlite", "mmap")
 _VALID_MAINTENANCE_MODES = ("sync", "background", "barrier")
 
 
@@ -81,13 +81,15 @@ class GraphCacheConfig:
         pipeline stage shares one matcher instance and plan cache.
     backend:
         Storage backend of the cache/window stores: ``"memory"`` (the seed's
-        in-RAM dictionaries, default) or ``"sqlite"`` (write-through, lazy
-        entry loading — larger-than-RAM caches).  See
+        in-RAM dictionaries, default), ``"sqlite"`` (write-through, lazy
+        entry loading — larger-than-RAM caches) or ``"mmap"`` (packed query
+        graphs in an append-only arena, zero-copy reads, sealable to a
+        shared segment for multi-process serving).  See
         :mod:`repro.core.backends`.
     backend_path:
-        SQLite only: database file holding the stores (``None`` keeps the
-        database in memory).  Sharded caches derive one file per shard from
-        this path.
+        SQLite database file / mmap arena base path holding the stores
+        (``None`` keeps the data in memory).  Sharded caches derive one
+        file per shard from this path.
     shards:
         Number of independent :class:`~repro.core.cache.GraphCache` shards a
         :class:`~repro.core.sharding.ShardedGraphCache` splits the cache
@@ -164,8 +166,13 @@ class GraphCacheConfig:
                 f"unknown storage backend {self.backend!r}; "
                 f"valid backends: {', '.join(_VALID_BACKENDS)}"
             )
-        if self.backend_path is not None and self.backend.lower() != "sqlite":
-            raise CacheError("backend_path is only meaningful with backend='sqlite'")
+        if self.backend_path is not None and self.backend.lower() not in (
+            "sqlite",
+            "mmap",
+        ):
+            raise CacheError(
+                "backend_path is only meaningful with backend='sqlite' or 'mmap'"
+            )
         if self.shards < 1:
             raise CacheError("shards must be >= 1")
         if self.maintenance_mode.lower() not in _VALID_MAINTENANCE_MODES:

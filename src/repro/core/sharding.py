@@ -245,6 +245,11 @@ class ShardedGraphCache:
         """Approximate memory footprint summed over the shards."""
         return sum(shard.cache_size_bytes() for shard in self._shards)
 
+    def seal_storage(self) -> None:
+        """Seal every shard's sealable backends (mmap segment publish)."""
+        for shard in self._shards:
+            shard.seal_storage()
+
     def close(self) -> None:
         """Release every shard's pipeline and backend resources."""
         for shard in self._shards:

@@ -3,6 +3,7 @@
 from .builder import GraphBuilder
 from .dataset import DatasetStatistics, GraphDataset
 from .graph import Graph
+from .packed import PackedGraph
 from .io import (
     graph_from_text,
     graph_to_text,
@@ -21,6 +22,7 @@ from .signatures import (
 
 __all__ = [
     "Graph",
+    "PackedGraph",
     "GraphBuilder",
     "GraphDataset",
     "DatasetStatistics",

@@ -21,6 +21,7 @@ for incremental construction with arbitrary vertex names.
 from __future__ import annotations
 
 from collections import Counter
+from functools import lru_cache
 from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from ..analysis.runtime import make_lock
@@ -36,6 +37,11 @@ Edge = Tuple[int, int]
 #: a single int comparison instead of re-hashing the label objects.
 _LABEL_INTERN: Dict[object, int] = {}
 _LABEL_INTERN_LOCK = make_lock("label.intern")
+
+#: Below this vertex count the packed attach path builds its bitmask core
+#: with scalar Python bit arithmetic; above it, the vectorised numpy scatter
+#: wins (numpy's per-call overhead crosses over around a few mask words).
+_CSR_SCALAR_CUTOFF = 128
 
 
 def intern_label(label: object) -> int:
@@ -54,6 +60,18 @@ def intern_label(label: object) -> int:
                 label_id = len(_LABEL_INTERN)
                 _LABEL_INTERN[label] = label_id
     return label_id
+
+
+@lru_cache(maxsize=65536)
+def _intern_table(labels: Tuple[object, ...]) -> Tuple[int, ...]:
+    """Interned ids of a whole label table, memoised on the table itself.
+
+    Packed records repeat a dataset's handful of distinct label tables across
+    millions of graphs; caching the id tuple turns per-record interning into
+    one cache probe (``lru_cache`` is thread-safe, and interned ids are
+    process-stable, so a cached tuple can never go stale).
+    """
+    return tuple(intern_label(label) for label in labels)
 
 
 def _normalize_edge(u: int, v: int) -> Edge:
@@ -180,6 +198,112 @@ class Graph:
         # queries, so the table amortises across calls.
         self._nbr_label_ge_masks: Dict[int, Tuple[int, ...]] | None = None
 
+    def _init_bitmask_core_scalar_csr(
+        self,
+        ptr: Sequence[int],
+        rows: Sequence[Sequence[int]],
+        per_code: Sequence[Sequence[int]],
+        label_table: Sequence[object],
+    ) -> None:
+        """Scalar bitmask core from CSR row lists (the small-graph fast path).
+
+        For graphs whose masks fit a handful of machine words, plain Python
+        bit arithmetic over the (already materialised) CSR rows beats the
+        vectorised scatter of :meth:`_init_bitmask_core_from_csr` — numpy's
+        per-call overhead outweighs the loop for ``n`` below the cutoff.
+        Produces field-identical results to both sibling constructors.
+        """
+        masks: List[int] = []
+        for row in rows:
+            mask = 0
+            for t in row:
+                mask |= 1 << t
+            masks.append(mask)
+        self._neighbor_masks = tuple(masks)
+        table_ids = _intern_table(tuple(label_table))
+        label_ids: List[int] = [0] * len(rows)
+        label_masks: Dict[int, int] = {}
+        counts: Dict[int, int] = {}
+        for code, vertices in enumerate(per_code):
+            if not vertices:
+                continue
+            label_id = table_ids[code]
+            mask = 0
+            for vertex in vertices:
+                mask |= 1 << vertex
+                label_ids[vertex] = label_id
+            label_masks[label_id] = mask
+            counts[label_id] = len(vertices)
+        self._label_ids = tuple(label_ids)
+        self._label_masks = label_masks
+        self._label_id_counts = counts
+        degrees = [ptr[v + 1] - ptr[v] for v in range(len(rows))]
+        self._degree_sequence = tuple(sorted(degrees, reverse=True))
+        max_degree = max(degrees, default=0)
+        prefix: List[int] = [0] * (max_degree + 2)
+        for vertex, degree in enumerate(degrees):
+            prefix[degree] |= 1 << vertex
+        for d in range(max_degree - 1, -1, -1):
+            prefix[d] |= prefix[d + 1]
+        self._degree_prefix_masks = tuple(prefix)
+        self._nbr_label_ge_masks = None
+
+    def _init_bitmask_core_from_csr(self, indptr, indices, label_codes, label_table) -> None:
+        """Bitmask core built from CSR slices — no per-vertex Python lists.
+
+        The packed attach path (:meth:`from_packed`): neighbour masks, label
+        masks and degree-prefix masks are assembled as vectorised bit-matrix
+        rows (`numpy` ``bitwise_or.at`` scatter into ``uint8`` rows, one
+        ``int.from_bytes`` per mask), so rehydrating an arena-backed graph
+        costs O(n·n/8) byte ops instead of a Python loop per adjacency entry.
+        Produces field-identical results to :meth:`_init_bitmask_core`.
+        """
+        import numpy as np
+
+        n = len(label_codes)
+        nbytes = (n + 7) // 8
+        degrees = np.diff(indptr)
+        # Per-vertex adjacency masks: scatter bit `t` into row `v`.
+        rows = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        cols = indices.astype(np.int64, copy=False)
+        adj_bits = np.zeros((n, nbytes), dtype=np.uint8)
+        np.bitwise_or.at(
+            adj_bits, (rows, cols >> 3), (1 << (cols & 7)).astype(np.uint8)
+        )
+        self._neighbor_masks = tuple(
+            int.from_bytes(row.tobytes(), "little") for row in adj_bits
+        )
+        # Interned ids: one intern per distinct label, broadcast by code.
+        table_ids = _intern_table(tuple(label_table))
+        codes = label_codes.tolist()
+        self._label_ids = tuple(table_ids[code] for code in codes)
+        verts = np.arange(n, dtype=np.int64)
+        vert_bits = (1 << (verts & 7)).astype(np.uint8)
+        vert_bytes = verts >> 3
+        label_rows = np.zeros((len(table_ids), nbytes), dtype=np.uint8)
+        np.bitwise_or.at(label_rows, (label_codes, vert_bytes), vert_bits)
+        label_masks: Dict[int, int] = {}
+        for code, label_id in enumerate(table_ids):
+            mask = int.from_bytes(label_rows[code].tobytes(), "little")
+            if mask:
+                label_masks[label_id] = mask
+        self._label_masks = label_masks
+        self._label_id_counts = {
+            label_id: mask.bit_count() for label_id, mask in label_masks.items()
+        }
+        degree_list = degrees.tolist()
+        self._degree_sequence = tuple(sorted(degree_list, reverse=True))
+        max_degree = max(degree_list, default=0)
+        prefix_rows = np.zeros((max_degree + 2, nbytes), dtype=np.uint8)
+        np.bitwise_or.at(prefix_rows, (degrees, vert_bytes), vert_bits)
+        # Suffix-OR so that prefix[d] covers every vertex of degree >= d.
+        for d in range(max_degree - 1, -1, -1):
+            prefix_rows[d] |= prefix_rows[d + 1]
+        self._degree_prefix_masks = tuple(
+            int.from_bytes(row.tobytes(), "little") for row in prefix_rows
+        )
+        self._nbr_label_ge_masks = None
+
     # ------------------------------------------------------------------ #
     # Basic properties
     # ------------------------------------------------------------------ #
@@ -258,11 +382,13 @@ class Graph:
 
         Pure lookup: a label this process has never interned cannot be in any
         graph, so the probe must not grow the intern table as a side effect.
+        Resolves the interned id and delegates to :meth:`label_id_mask` (one
+        mask-table probe, not two parallel implementations).
         """
         label_id = _LABEL_INTERN.get(label)
         if label_id is None:
             return 0
-        return self._label_masks.get(label_id, 0)
+        return self.label_id_mask(label_id)
 
     def label_id_mask(self, label_id: int) -> int:
         """Bitmask of the vertices whose interned label id is ``label_id``."""
@@ -390,25 +516,105 @@ class Graph:
         return components
 
     # ------------------------------------------------------------------ #
+    # Packed (CSR) round-trip
+    # ------------------------------------------------------------------ #
+    def to_packed(self):
+        """Pack into a :class:`~repro.graphs.packed.PackedGraph` (CSR views)."""
+        from .packed import PackedGraph
+
+        return PackedGraph.from_graph(self)
+
+    @classmethod
+    def from_packed(cls, packed) -> "Graph":
+        """Rebuild a full graph from a :class:`~repro.graphs.packed.PackedGraph`.
+
+        The inverse of :meth:`to_packed`, also reached from zero-copy views
+        over a sealed arena: adjacency sets come straight from the CSR
+        slices, and the bitmask core is built by
+        :meth:`_init_bitmask_core_from_csr` without per-vertex Python lists.
+        The result is indistinguishable from ``Graph(labels, edges)``.
+        """
+        return cls._from_csr_lists(
+            packed.indptr.tolist(),
+            packed.indices.tolist(),
+            packed.label_codes.tolist(),
+            packed.label_table,
+            packed.graph_id,
+            arrays=(packed.indptr, packed.indices, packed.label_codes),
+        )
+
+    @classmethod
+    def _from_csr_lists(
+        cls,
+        ptr: Sequence[int],
+        idx: Sequence[int],
+        codes: Sequence[int],
+        table: Tuple[object, ...],
+        graph_id: object | None,
+        arrays=None,
+    ) -> "Graph":
+        """Build a graph from plain CSR sequences (rows sorted ascending).
+
+        Shared by :meth:`from_packed` and the struct-unpacking record decoder
+        (:meth:`PackedGraph.decode_graph`); ``arrays`` optionally carries the
+        ``(indptr, indices, label_codes)`` numpy triple so the vectorised
+        mask constructor can reuse it above the scalar cutoff instead of
+        round-tripping the lists through ``np.asarray``.
+        """
+        self = cls.__new__(cls)
+        self._labels = tuple([table[code] for code in codes])
+        n = len(codes)
+        rows = [idx[ptr[v] : ptr[v + 1]] for v in range(n)]
+        self._adjacency = tuple([frozenset(row) for row in rows])
+        # CSR rows are sorted, so scanning each row for the u < v half yields
+        # the canonical sorted edge tuple directly.
+        self._edges = tuple(
+            [(u, v) for u, row in enumerate(rows) for v in row if u < v]
+        )
+        self._graph_id = graph_id
+        # Group vertices by label code first: one pass over the codes, then
+        # one small dict per *distinct* label instead of per vertex.
+        per_code: List[List[int]] = [[] for _ in table]
+        for vertex, code in enumerate(codes):
+            per_code[code].append(vertex)
+        histogram: Dict[object, int] = {}
+        by_label: Dict[object, Tuple[int, ...]] = {}
+        for code, vertices in enumerate(per_code):
+            if vertices:
+                label = table[code]
+                histogram[label] = len(vertices)
+                by_label[label] = tuple(vertices)
+        self._label_histogram = histogram
+        self._vertices_by_label = by_label
+        self._hash = None
+        if n <= _CSR_SCALAR_CUTOFF:
+            self._init_bitmask_core_scalar_csr(ptr, rows, per_code, table)
+        else:
+            if arrays is None:
+                import numpy as np
+
+                arrays = (
+                    np.asarray(ptr, dtype=np.int64),
+                    np.asarray(idx, dtype=np.int32),
+                    np.asarray(codes, dtype=np.int32),
+                )
+            self._init_bitmask_core_from_csr(*arrays, table)
+        return self
+
+    # ------------------------------------------------------------------ #
     # Derived graphs
     # ------------------------------------------------------------------ #
     def with_id(self, graph_id: object) -> "Graph":
-        """Return a copy of this graph carrying ``graph_id``."""
+        """Return a copy of this graph carrying ``graph_id``.
+
+        Copies every ``__slots__`` field generically, so a field added to the
+        class (packed caches, new mask tables, ...) can never silently fall
+        off the clone path; the regression test iterates the same tuple.
+        """
         clone = Graph.__new__(Graph)
-        clone._labels = self._labels
-        clone._adjacency = self._adjacency
-        clone._edges = self._edges
+        for slot in Graph.__slots__:
+            object.__setattr__(clone, slot, getattr(self, slot))
         clone._graph_id = graph_id
-        clone._label_histogram = self._label_histogram
-        clone._vertices_by_label = self._vertices_by_label
-        clone._hash = self._hash
-        clone._neighbor_masks = self._neighbor_masks
-        clone._label_ids = self._label_ids
-        clone._label_masks = self._label_masks
-        clone._degree_sequence = self._degree_sequence
-        clone._degree_prefix_masks = self._degree_prefix_masks
-        clone._nbr_label_ge_masks = self._nbr_label_ge_masks
-        clone._label_id_counts = self._label_id_counts
         return clone
 
     def induced_subgraph(self, vertices: Iterable[int]) -> "Graph":

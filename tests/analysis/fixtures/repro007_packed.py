@@ -1,0 +1,12 @@
+"""Golden fixture: exactly one REPRO007 write through a PackedGraph view."""
+
+
+class Graph:
+    def to_packed(self):
+        pass
+
+
+class PackedMutator:
+    def violate(self, graph: Graph) -> None:
+        packed = graph.to_packed()
+        packed.indices[0] = 1

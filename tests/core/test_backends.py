@@ -3,9 +3,10 @@
 Every backend must expose dict-like observable semantics — keyed access,
 insertion-ordered iteration, atomic ``replace_all`` — so that switching the
 data layer never changes replacement decisions or work counters.  The suite
-runs identically against :class:`InMemoryBackend` and :class:`SQLiteBackend`
-(in-memory and file-based), which is the "SQLite passes the same store
-contract suite as InMemory" acceptance criterion.
+runs identically against :class:`InMemoryBackend`, :class:`SQLiteBackend`
+and :class:`MmapBackend` (in-memory and file-based), which is the "every
+backend passes the same store contract suite as InMemory" acceptance
+criterion.
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ import pytest
 from repro.core.backends import (
     AVAILABLE_BACKENDS,
     InMemoryBackend,
+    MmapBackend,
     SQLiteBackend,
     create_backend,
 )
@@ -43,6 +45,10 @@ BACKEND_FACTORIES = {
     "sqlite-memory": lambda tmp_path: SQLiteBackend(CacheEntryCodec()),
     "sqlite-file": lambda tmp_path: SQLiteBackend(
         CacheEntryCodec(), path=str(tmp_path / "store.db")
+    ),
+    "mmap-memory": lambda tmp_path: MmapBackend(CacheEntryCodec()),
+    "mmap-file": lambda tmp_path: MmapBackend(
+        CacheEntryCodec(), path=str(tmp_path / "store")
     ),
 }
 
@@ -145,7 +151,7 @@ class TestSQLiteDurability:
 
 class TestFactory:
     def test_available_backends(self):
-        assert AVAILABLE_BACKENDS == ("memory", "sqlite")
+        assert AVAILABLE_BACKENDS == ("memory", "sqlite", "mmap")
 
     def test_create_by_name(self, tmp_path):
         assert isinstance(create_backend("memory", CacheEntryCodec()), InMemoryBackend)
@@ -153,14 +159,19 @@ class TestFactory:
             "sqlite", CacheEntryCodec(), path=str(tmp_path / "x.db")
         )
         assert isinstance(sqlite_backend, SQLiteBackend)
+        mmap_backend = create_backend(
+            "mmap", CacheEntryCodec(), path=str(tmp_path / "x")
+        )
+        assert isinstance(mmap_backend, MmapBackend)
         sqlite_backend.close()
+        mmap_backend.close()
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(CacheError):
             create_backend("redis", CacheEntryCodec())
 
 
-@pytest.fixture(params=["memory", "sqlite"])
+@pytest.fixture(params=["memory", "sqlite", "mmap"])
 def store_backend_kind(request):
     return request.param
 

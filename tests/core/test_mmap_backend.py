@@ -1,0 +1,165 @@
+"""Mmap-backend specifics beyond the shared storage contract suite.
+
+``tests/core/test_backends.py`` already runs :class:`MmapBackend` through
+the full backend contract; this module pins the arena-specific lifecycle —
+seal/attach warm starts, dead-extent reclamation, the sidecar format, the
+transactional delta, and the snapshot records carrying arena addresses.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.backends import MmapBackend
+from repro.core.stores import (
+    CacheEntry,
+    CacheEntryCodec,
+    WindowEntry,
+    WindowEntryCodec,
+)
+from repro.exceptions import CacheError
+from repro.graphs.graph import Graph
+
+
+def entry(serial, answers=(0,), order=2):
+    labels = ["C", "O", "N", "S"][:order] if order <= 4 else ["C"] * order
+    edges = [(i, i + 1) for i in range(order - 1)]
+    return CacheEntry(
+        serial=serial,
+        query=Graph(labels=labels, edges=edges, graph_id=serial),
+        answer_ids=frozenset(answers),
+    )
+
+
+def make_backend(tmp_path, table="entries"):
+    return MmapBackend(CacheEntryCodec(), path=str(tmp_path / "store"), table=table)
+
+
+class TestSealAttach:
+    def test_seal_then_attach_adopts_entries(self, tmp_path):
+        backend = make_backend(tmp_path)
+        originals = [entry(serial, answers=(serial,)) for serial in (1, 2, 3)]
+        for item in originals:
+            backend.put(item.serial, item)
+        backend.seal()
+        backend.close()
+
+        attached = make_backend(tmp_path)
+        assert attached.serials() == [1, 2, 3]
+        for original in originals:
+            adopted = attached.get(original.serial)
+            assert adopted == original
+            assert adopted.query.graph_id == original.serial
+        attached.close()
+
+    def test_sealed_reads_keep_working_in_the_sealing_process(self, tmp_path):
+        backend = make_backend(tmp_path)
+        backend.put(1, entry(1))
+        backend.seal()
+        assert backend.get(1) == entry(1)
+        backend.close()
+
+    def test_seal_requires_backend_path(self):
+        backend = MmapBackend(CacheEntryCodec())
+        backend.put(1, entry(1))
+        with pytest.raises(CacheError):
+            backend.seal()
+        backend.close()
+
+    def test_attach_without_sidecar_rejected(self, tmp_path):
+        backend = make_backend(tmp_path)
+        backend.put(1, entry(1))
+        backend.seal()
+        backend.close()
+        backend.meta_path.unlink()
+        with pytest.raises(CacheError):
+            make_backend(tmp_path)
+
+    def test_sidecar_is_codec_generic(self, tmp_path):
+        """The window store's codec (extra timing fields) seals and adopts
+        through the same stub-graph mechanism as the cache codec."""
+        backend = MmapBackend(
+            WindowEntryCodec(), path=str(tmp_path / "store"), table="window_entries"
+        )
+        item = WindowEntry(
+            serial=5,
+            query=Graph(labels=["C", "N"], edges=[(0, 1)], graph_id=5),
+            answer_ids=frozenset({9}),
+            filter_time_s=0.25,
+            verify_time_s=0.5,
+        )
+        backend.put(5, item)
+        backend.seal()
+        backend.close()
+        attached = MmapBackend(
+            WindowEntryCodec(), path=str(tmp_path / "store"), table="window_entries"
+        )
+        assert attached.get(5) == item
+        attached.close()
+
+    def test_sidecar_stores_extents_not_graph_text(self, tmp_path):
+        backend = make_backend(tmp_path)
+        backend.put(1, entry(1))
+        backend.seal()
+        payload = json.loads(backend.meta_path.read_text())
+        assert payload["version"] == 1
+        (record,) = payload["records"]
+        offset, length = record["query"]
+        assert offset == 0 and length > 0
+        backend.close()
+
+
+class TestDeadExtentReclamation:
+    def test_seal_compacts_dead_extents(self, tmp_path):
+        backend = make_backend(tmp_path)
+        for serial in range(1, 6):
+            backend.put(serial, entry(serial))
+        backend.seal()
+        sealed_bytes = backend.arena.total_bytes
+        # Freeing sealed-region extents leaves dead bytes in the segment
+        # until the next seal compacts them away.
+        backend.delete(2)
+        backend.delete(4)
+        backend.put(1, entry(1, answers=(7,)))  # overwrite frees the old extent
+        arena = backend.arena
+        assert arena.dead_bytes > 0
+        backend.seal()
+        assert arena.dead_bytes == 0
+        assert arena.live_bytes == arena.total_bytes
+        assert arena.total_bytes < sealed_bytes
+        assert sorted(backend.serials()) == [1, 3, 5]
+        assert backend.get(1).answer_ids == frozenset({7})
+        backend.close()
+
+
+class TestTransactionalDelta:
+    def test_apply_delta_removals_then_additions(self, tmp_path):
+        backend = make_backend(tmp_path)
+        for serial in (1, 2, 3):
+            backend.put(serial, entry(serial))
+        backend.apply_delta(
+            add=[(4, entry(4)), (2, entry(2, answers=(8,)))], remove=[1, 99]
+        )
+        assert sorted(backend.serials()) == [2, 3, 4]
+        assert backend.get(2).answer_ids == frozenset({8})
+        assert backend.op_counts.rows_deleted == 1  # serial 99 was absent
+        backend.close()
+
+
+class TestSnapshotRecords:
+    def test_dump_records_carry_arena_addresses(self, tmp_path):
+        backend = make_backend(tmp_path)
+        originals = [entry(serial) for serial in (1, 2)]
+        for item in originals:
+            backend.put(item.serial, item)
+        records = backend.dump_records()
+        codec = CacheEntryCodec()
+        for original, record in zip(originals, records):
+            assert record["arena"]["path"] == backend.arena_path
+            assert record["arena"]["length"] > 0
+            # The portable text stays loadable by the ordinary codec.
+            decoded = codec.decode({k: v for k, v in record.items() if k != "arena"})
+            assert decoded == original
+        backend.close()

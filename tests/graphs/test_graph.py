@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import GraphError
-from repro.graphs.graph import Graph
+from repro.graphs.graph import _LABEL_INTERN, Graph, intern_label
 
 
 class TestConstruction:
@@ -127,11 +127,34 @@ class TestStructuralSummaries:
         assert covered == list(range(random_molecule.order))
 
 
+class TestLabelMasks:
+    def test_label_mask_delegates_to_label_id_mask(self):
+        g = Graph(labels=["C", "N", "C"], edges=[(0, 1), (1, 2)])
+        assert g.label_mask("C") == g.label_id_mask(intern_label("C")) == 0b101
+        assert g.label_mask("N") == g.label_id_mask(intern_label("N")) == 0b010
+
+    def test_label_mask_unknown_label_does_not_intern(self):
+        g = Graph(labels=["C"], edges=())
+        probe = ("never-interned-label", object())
+        before = len(_LABEL_INTERN)
+        assert g.label_mask(probe) == 0
+        assert len(_LABEL_INTERN) == before
+
+
 class TestDerivedGraphs:
     def test_with_id_preserves_structure(self, triangle):
         clone = triangle.with_id(7)
         assert clone.graph_id == 7
         assert clone == triangle
+
+    def test_with_id_copies_every_slot(self, triangle):
+        """``with_id`` iterates ``Graph.__slots__`` — a field added to the
+        class can never silently fall off the clone path."""
+        clone = triangle.with_id("cloned")
+        for slot in Graph.__slots__:
+            if slot == "_graph_id":
+                continue
+            assert getattr(clone, slot) == getattr(triangle, slot), slot
 
     def test_induced_subgraph(self, house_graph):
         sub = house_graph.induced_subgraph([2, 3, 4])
