@@ -406,17 +406,17 @@ class _FunctionWalker(ast.NodeVisitor):
                 types = _constructed_types(value, self.fn.param_types)
                 if types:
                     self.fn.local_types.setdefault(path[0], set()).update(types)
-                if "PackedGraph" in types:
+                if "PackedGraph" in types or "PackedGraphView" in types:
                     self.fn.packed_vars.setdefault(path[0], value.lineno)
                 if isinstance(value, ast.Call):
                     func = value.func
                     if isinstance(func, ast.Attribute) and func.attr == "acquire_view":
                         self.fn.view_vars.setdefault(path[0], value.lineno)
                     if isinstance(func, ast.Attribute) and (
-                        func.attr in ("to_packed", "packed_at")
+                        func.attr in ("to_packed", "packed_at", "view_at")
                         or (
                             isinstance(func.value, ast.Name)
-                            and func.value.id == "PackedGraph"
+                            and func.value.id in ("PackedGraph", "PackedGraphView")
                         )
                     ):
                         self.fn.packed_vars.setdefault(path[0], value.lineno)
@@ -506,7 +506,7 @@ def _extract_function(
             fn.param_types[arg.arg] = types
             if "IndexView" in types:
                 fn.view_vars.setdefault(arg.arg, node.lineno)
-            if "PackedGraph" in types:
+            if "PackedGraph" in types or "PackedGraphView" in types:
                 fn.packed_vars.setdefault(arg.arg, node.lineno)
     fn.return_types = _annotation_types(node.returns)
     for line in (node.lineno, node.lineno - 1):

@@ -208,6 +208,13 @@ def _add_experiment_arguments(
     parser.add_argument("--backend-path", type=Path, default=None,
                         help="sqlite database file / mmap arena base path "
                              "for a durable cache (default: in-memory)")
+    parser.add_argument("--packed-match", choices=["on", "off", "auto"],
+                        default="auto",
+                        help="CSR-native matching on packed views: 'on' "
+                             "serves mmap-backed entries as zero-decode "
+                             "PackedGraphView objects, 'off' always decodes "
+                             "to Graph, 'auto' (default) decodes in-process "
+                             "but switches on inside forked workers")
     parser.add_argument("--shards", type=int, default=1,
                         help="split the cache into N independent shards; "
                              "with --jobs > 1 full GC pipelines run "
@@ -312,6 +319,7 @@ def _experiment_config(
         backend_path=None if args.backend_path is None else str(args.backend_path),
         shards=args.shards,
         maintenance_mode=args.maintenance_mode,
+        packed_match=args.packed_match,
         journal_path=None if args.journal_path is None else str(args.journal_path),
     )
 
@@ -348,6 +356,7 @@ def _command_batch(args: argparse.Namespace) -> int:
         "subiso_tests": runtime.subiso_tests,
         "subiso_alleviated": runtime.subiso_tests_alleviated,
         "containment_tests": runtime.containment_tests,
+        "decode_avoided": runtime.decode_avoided,
         # Maintenance-engine evidence: rounds run and the delta work they
         # did (index add/remove + backend row ops — O(window) per round).
         "gc_rounds": len(maintenance),
@@ -379,13 +388,40 @@ def _batch_multiprocess(args, method, workload, config) -> int:
             "subiso_tests": runtime.subiso_tests,
             "subiso_alleviated": runtime.subiso_tests_alleviated,
             "containment_tests": runtime.containment_tests,
+            "decode_avoided": runtime.decode_avoided,
         }
         for stage in STAGE_NAMES:
             row[f"{stage}_ms"] = round(stages.get(stage, 0.0) * 1000.0, 3)
         print(format_table([row]))
+        for line in _arena_stat_lines(service.arena_statistics()):
+            print(line)
     finally:
         service.close()
     return 0
+
+
+def _arena_stat_lines(stats) -> list:
+    """Render pool/cache arena occupancy as indented report lines."""
+    lines = [
+        "arena: live_bytes={} dead_bytes={} delta_segments={}".format(
+            stats["live_bytes"], stats["dead_bytes"], stats["delta_segments"]
+        )
+    ]
+    for shard, shard_stats in sorted(stats.get("shards", {}).items()):
+        for table in shard_stats.get("tables", []):
+            for segment in table.get("segments", []):
+                lines.append(
+                    "  shard {} {} {}: kind={} bytes={} live={} dead={}".format(
+                        shard,
+                        table["table"],
+                        segment["segment"],
+                        segment["kind"],
+                        segment["bytes"],
+                        segment["live_bytes"],
+                        segment["dead_bytes"],
+                    )
+                )
+    return lines
 
 
 def _command_policies(args: argparse.Namespace) -> int:
@@ -530,8 +566,39 @@ def _command_maintenance(args: argparse.Namespace) -> int:
     print(format_table(rows))
     for line in details:
         print(line)
+    runtime = service.cache.runtime_statistics
+    print(f"decode_avoided: {runtime.decode_avoided}")
+    for line in _cache_arena_lines(service.cache):
+        print(line)
     service.close()
     return 0
+
+
+def _cache_arena_lines(cache) -> list:
+    """Per-segment arena occupancy of an in-process cache (mmap only)."""
+    storage_backends = getattr(cache, "storage_backends", None)
+    if storage_backends is None:
+        return []
+    lines = []
+    for backend in storage_backends():
+        arena_statistics = getattr(backend, "arena_statistics", None)
+        if arena_statistics is None:
+            continue
+        table = arena_statistics()
+        lines.append(
+            "arena {}: live_bytes={} dead_bytes={} delta_segments={}".format(
+                table["table"], table["live_bytes"], table["dead_bytes"],
+                table["delta_segments"],
+            )
+        )
+        for segment in table["segments"]:
+            lines.append(
+                "  {}: kind={} bytes={} live={} dead={}".format(
+                    segment["segment"], segment["kind"], segment["bytes"],
+                    segment["live_bytes"], segment["dead_bytes"],
+                )
+            )
+    return lines
 
 
 _COMMANDS = {

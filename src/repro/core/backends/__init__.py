@@ -70,6 +70,7 @@ def create_backend(
     codec: EntryCodec,
     path: Optional[str] = None,
     table: str = "entries",
+    packed_views: bool = False,
 ) -> StorageBackend:
     """Build a storage backend by registry name.
 
@@ -86,6 +87,11 @@ def create_backend(
     table:
         Logical table name, so several stores (cache entries, window
         entries, shards) can share one database file / base path.
+    packed_views:
+        mmap only: serve entry queries as CSR-native
+        :class:`~repro.graphs.packed.PackedGraphView` objects instead of
+        decoded ``Graph`` instances (the ``packed_match`` serving mode).
+        Ignored by the other backends, which store real ``Graph`` objects.
     """
     name = kind.lower()
     if name == "memory":
@@ -93,7 +99,7 @@ def create_backend(
     if name == "sqlite":
         return SQLiteBackend(codec, path=path, table=table)
     if name == "mmap":
-        return MmapBackend(codec, path=path, table=table)
+        return MmapBackend(codec, path=path, table=table, packed_views=packed_views)
     raise CacheError(
         f"unknown storage backend {kind!r}; available: {', '.join(AVAILABLE_BACKENDS)}"
     )

@@ -68,6 +68,11 @@ class MmapBackend(StorageBackend):
     table:
         Logical table name, so the cache and window stores of one cache (and
         every shard) derive distinct files from one base path.
+    packed_views:
+        When true, ``get()``/``entries()`` return entries whose ``query`` is
+        the arena's memoised CSR-native
+        :class:`~repro.graphs.packed.PackedGraphView` instead of a decoded
+        ``Graph`` — the zero-decode serving mode (``packed_match``).
     """
 
     name = "mmap"
@@ -77,10 +82,12 @@ class MmapBackend(StorageBackend):
         codec: EntryCodec,
         path: Optional[str] = None,
         table: str = "entries",
+        packed_views: bool = False,
     ) -> None:
         super().__init__()
         self._codec = codec
         self._table = table
+        self._packed_views = packed_views
         self._segment: Optional[Path] = (
             Path(f"{path}.{table}.arena") if path is not None else None
         )
@@ -129,7 +136,10 @@ class MmapBackend(StorageBackend):
             if record is None:
                 return None
             extent, stub = record
-            query = self._arena.graph_at(extent)
+            if self._packed_views:
+                query = self._arena.view_at(extent)
+            else:
+                query = self._arena.graph_at(extent)
         return replace(stub, query=query)
 
     def delete(self, serial: int) -> bool:
@@ -154,10 +164,16 @@ class MmapBackend(StorageBackend):
 
     def entries(self) -> List[Any]:
         with self._lock:
-            decoded = [
-                (stub, self._arena.graph_at(extent))
-                for _, (extent, stub) in self._records.items()
-            ]
+            if self._packed_views:
+                decoded = [
+                    (stub, self._arena.view_at(extent))
+                    for _, (extent, stub) in self._records.items()
+                ]
+            else:
+                decoded = [
+                    (stub, self._arena.graph_at(extent))
+                    for _, (extent, stub) in self._records.items()
+                ]
         return [replace(stub, query=query) for stub, query in decoded]
 
     def count(self) -> int:
@@ -233,24 +249,66 @@ class MmapBackend(StorageBackend):
                 record["query"] = [moved.offset, moved.length]
                 records.append(record)
             self._records = resealed
-            payload = {
-                "version": _META_VERSION,
-                "table": self._table,
-                "arena": self._segment.name,
-                "records": records,
-            }
-            meta = self.meta_path
-            fd, tmp_name = tempfile.mkstemp(
-                dir=str(meta.parent), prefix=meta.name, suffix=".tmp"
+            self._write_sidecar(records)
+
+    def seal_delta(self) -> int:
+        """Publish new admissions as a delta segment — no stop-the-world rewrite.
+
+        Falls back to a full :meth:`seal` when no base segment exists yet
+        (first seal of the backend's lifetime).  Otherwise the arena appends
+        one ``.deltaN`` file holding just the tail records — extents do not
+        move, so only the sidecar is rewritten — and an attaching worker
+        picks up base + deltas.  Returns the number of records published.
+        """
+        if self._segment is None:
+            raise CacheError(
+                "cannot seal an mmap backend without a backend_path"
             )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as stream:
-                    json.dump(payload, stream)
-                os.replace(tmp_name, meta)
-            except BaseException:
-                if os.path.exists(tmp_name):
-                    os.unlink(tmp_name)
-                raise
+        with self._lock:
+            if not self._arena.sealed:
+                before = len(self._records)
+                self.seal()
+                return before
+            published = self._arena.seal_delta()
+            if published:
+                records: List[Dict[str, Any]] = []
+                for serial, (extent, stub) in self._records.items():
+                    record = self._codec.encode(replace(stub, query=_STUB_GRAPH))
+                    record["query"] = [extent.offset, extent.length]
+                    records.append(record)
+                self._write_sidecar(records)
+            return published
+
+    def arena_statistics(self) -> Dict[str, Any]:
+        """Occupancy of the backing arena (re-seal pressure observability)."""
+        with self._lock:
+            return {
+                "table": self._table,
+                "live_bytes": self._arena.live_bytes,
+                "dead_bytes": self._arena.dead_bytes,
+                "delta_segments": self._arena.delta_count,
+                "segments": self._arena.segment_stats(),
+            }
+
+    def _write_sidecar(self, records: List[Dict[str, Any]]) -> None:
+        payload = {
+            "version": _META_VERSION,
+            "table": self._table,
+            "arena": self._segment.name,
+            "records": records,
+        }
+        meta = self.meta_path
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(meta.parent), prefix=meta.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream)
+            os.replace(tmp_name, meta)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
 
     def _adopt_sidecar(self) -> None:
         """Rebuild the offset table of an attached sealed segment."""

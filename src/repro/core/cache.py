@@ -35,6 +35,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 from ..analysis.runtime import make_lock, make_rlock
 from ..exceptions import CacheError
 from ..graphs.graph import Graph
+from ..graphs.packed import PackedGraphView
 from ..isomorphism.base import SubgraphMatcher
 from ..isomorphism.cost import estimate_subiso_cost
 from ..isomorphism.registry import matcher_by_name
@@ -120,6 +121,11 @@ class CacheQueryResult:
     short_circuit_stage:
         Name of the pipeline stage that short-circuited verification
         (``"prune"`` on an exact/empty shortcut), or ``None``.
+    decode_avoided:
+        1 when the query reached the cache as a CSR-native
+        :class:`~repro.graphs.packed.PackedGraphView` (packed-match serving:
+        no ``Graph`` was constructed for it), else 0.  The multi-process
+        identity suites pin ``sum(decode_avoided) == requests served``.
     """
 
     serial: int
@@ -139,6 +145,7 @@ class CacheQueryResult:
     containment_memo_hits: int = 0
     stage_times: Dict[str, float] = field(default_factory=dict)
     short_circuit_stage: Optional[str] = None
+    decode_avoided: int = 0
 
     @property
     def total_time_s(self) -> float:
@@ -163,6 +170,7 @@ class CacheRuntimeStatistics:
     subiso_tests_alleviated: int = 0
     containment_tests: int = 0
     containment_memo_hits: int = 0
+    decode_avoided: int = 0
     total_query_time_s: float = 0.0
     total_maintenance_time_s: float = 0.0
 
@@ -177,6 +185,7 @@ class CacheRuntimeStatistics:
             "subiso_tests_alleviated": self.subiso_tests_alleviated,
             "containment_tests": self.containment_tests,
             "containment_memo_hits": self.containment_memo_hits,
+            "decode_avoided": self.decode_avoided,
             "total_query_time_s": self.total_query_time_s,
             "total_maintenance_time_s": self.total_maintenance_time_s,
         }
@@ -227,6 +236,11 @@ class GraphCache:
 
         # Data layer: the stores are typed facades over the configured
         # storage backend (two tables sharing one SQLite file, or two dicts).
+        # packed_match="on" puts the mmap backend in CSR-native view mode:
+        # stored queries come back as PackedGraphView objects and no Graph
+        # is ever rebuilt on the serving path ("auto" resolves to "on" only
+        # inside forked pool workers — see repro.core.workers).
+        packed_views = self._config.packed_match.lower() == "on"
         self._cache_store = CacheStore(
             self._config.cache_capacity,
             backend=create_backend(
@@ -234,6 +248,7 @@ class GraphCache:
                 CacheEntryCodec(),
                 path=self._config.backend_path,
                 table="cache_entries",
+                packed_views=packed_views,
             ),
         )
         self._window_store = WindowStore(
@@ -243,6 +258,7 @@ class GraphCache:
                 WindowEntryCodec(),
                 path=self._config.backend_path,
                 table="window_entries",
+                packed_views=packed_views,
             ),
         )
         self._statistics = StatisticsManager()
@@ -531,6 +547,7 @@ class GraphCache:
             containment_memo_hits=outcome.memo_hits,
             stage_times=dict(ctx.stage_times),
             short_circuit_stage=ctx.short_circuit_stage,
+            decode_avoided=1 if isinstance(ctx.query, PackedGraphView) else 0,
         )
         self._update_runtime(result, len(ctx.method_candidates))
         self._results.append(result)
@@ -739,6 +756,7 @@ class GraphCache:
         )
         self._runtime.containment_tests += result.containment_tests
         self._runtime.containment_memo_hits += result.containment_memo_hits
+        self._runtime.decode_avoided += result.decode_avoided
         self._runtime.total_query_time_s += result.total_time_s
         self._runtime.total_maintenance_time_s += result.maintenance_time_s
         if result.cache_hit:

@@ -1,0 +1,77 @@
+"""Shared packed target dataset: seal once, attach read-only per worker.
+
+The missing half of the zero-copy serving story: PR 7's arena covers the
+*cached queries*, but every forked worker still held a private ``Graph``
+copy of the whole target dataset.  This module packs the dataset itself
+into one :class:`~repro.core.backends.arena.GraphArena` segment —
+:func:`seal_dataset` writes it before the fork, and each worker
+:meth:`~PackedGraphDataset.attach`-es the sealed file, so the dataset's
+bytes are shared read-only mmap pages across the pool and the matchers run
+CSR-native on memoised :class:`~repro.graphs.packed.PackedGraphView`
+objects (per-graph bitmask cores materialise lazily, once per process, on
+first verification against that graph).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from ..exceptions import DatasetError
+from ..graphs.dataset import GraphDataset
+from .backends.arena import GraphArena
+
+__all__ = ["PackedGraphDataset", "seal_dataset"]
+
+PathLike = Union[str, "Path"]
+
+
+def seal_dataset(dataset: GraphDataset, path: PathLike) -> Path:
+    """Pack every graph of ``dataset`` into a sealed arena segment at ``path``.
+
+    Records are appended in graph-id order, so the sealed offset table's
+    positions are the graph ids — :class:`PackedGraphDataset` relies on it.
+    """
+    arena = GraphArena(path)
+    extents = [arena.append_graph(graph) for graph in dataset]
+    arena.seal(extents)
+    arena.close()
+    return Path(path)
+
+
+class PackedGraphDataset(GraphDataset):
+    """A :class:`GraphDataset` served from a sealed arena segment.
+
+    ``dataset[graph_id]`` returns the arena's memoised
+    :class:`~repro.graphs.packed.PackedGraphView` for that record: a full
+    ``Graph`` in every observable way, but backed by the shared read-only
+    mmap pages and materialising derived state lazily.  The container API
+    (iteration, ``graph_ids``, ``statistics()``, ...) is inherited.
+    """
+
+    def __init__(self, arena: GraphArena, name: str = "packed") -> None:
+        extents = arena.extents()
+        if not extents:
+            raise DatasetError("packed dataset arena holds no graphs")
+        self._name = name
+        self._graphs = [arena.view_at(extent) for extent in extents]
+        self._all_ids = frozenset(range(len(self._graphs)))
+        self._arena = arena
+
+    @classmethod
+    def attach(cls, path: PathLike, name: Optional[str] = None) -> "PackedGraphDataset":
+        """Attach the sealed dataset segment at ``path`` (read-only, shared)."""
+        arena = GraphArena.attach(path)
+        return cls(arena, name=name if name is not None else Path(path).stem)
+
+    @property
+    def arena(self) -> GraphArena:
+        """The backing arena (exposed for inspection and tests)."""
+        return self._arena
+
+    def close(self) -> None:
+        """Release the mmap (views created earlier keep their pages alive)."""
+        self._arena.close()
+
+    def __repr__(self) -> str:
+        return f"<PackedGraphDataset {self._name!r} graphs={len(self._graphs)}>"

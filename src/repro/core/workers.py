@@ -28,6 +28,18 @@ Protocol invariants:
   cache (if any) has been sealed and closed, so no locks or threads are
   alive at fork time and the children inherit nothing but the module state
   and the sealed files.
+* **Zero-decode serving (packed match).**  Unless ``config.packed_match``
+  is ``"off"``, a worker's query loop never constructs a ``Graph``: the
+  packed bytes open as a CSR-native
+  :class:`~repro.graphs.packed.PackedGraphView`, stored entries come back
+  as memoised views over the attached arena, and the target dataset is a
+  :class:`~repro.core.packed_dataset.PackedGraphDataset` over one shared
+  segment sealed before the fork (instead of a per-process ``Graph`` copy).
+  Every such query bumps the ``decode_avoided`` counter, so the identity
+  suites can pin "zero ``Graph`` constructions" as
+  ``decode_avoided == requests served``.  Long-lived pools absorb new
+  admissions with :meth:`ProcessPoolCacheService.reseal` — each worker
+  publishes its arena tails as delta segments (no stop-the-world rewrite).
 """
 
 from __future__ import annotations
@@ -41,11 +53,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..exceptions import CacheError
 from ..graphs.graph import Graph
-from ..graphs.packed import PackedGraph
+from ..graphs.packed import PackedGraph, PackedGraphView
 from ..isomorphism.base import SubgraphMatcher
 from ..methods.base import Method
 from .cache import CacheQueryResult, CacheRuntimeStatistics, GraphCache
 from .config import GraphCacheConfig
+from .packed_dataset import PackedGraphDataset, seal_dataset
 from .query_index import QueryGraphIndex
 from .sharding import ShardedGraphCache, stable_feature_hash
 
@@ -64,14 +77,40 @@ def _shard_config(config: GraphCacheConfig, shard: int, shards: int) -> GraphCac
     )
 
 
-def _worker_loop(conn, owned, method, config, shards, matcher) -> None:
+def _cache_arena_statistics(cache: GraphCache) -> Dict[str, object]:
+    """Aggregate arena occupancy over a cache's storage backends."""
+    tables = []
+    for backend in cache.storage_backends():
+        arena_statistics = getattr(backend, "arena_statistics", None)
+        if arena_statistics is not None:
+            tables.append(arena_statistics())
+    return {
+        "live_bytes": sum(t["live_bytes"] for t in tables),
+        "dead_bytes": sum(t["dead_bytes"] for t in tables),
+        "delta_segments": sum(t["delta_segments"] for t in tables),
+        "tables": tables,
+    }
+
+
+def _worker_loop(conn, owned, method, config, shards, matcher, dataset_path) -> None:
     """Serve full pipelines for the owned shards until told to close.
 
     Runs in the forked child.  ``method`` and ``config`` arrive through the
     fork's copy-on-write image, never through pickling; the caches built
     here attach the sealed arena segments read-only and warm-start from
-    them.
+    them.  In packed-match mode (``packed_match != "off"``; ``"auto"``
+    resolves to ``"on"`` here, where the attached read-only arena makes
+    views strictly cheaper) the loop is zero-decode: queries open as
+    :class:`PackedGraphView` records, stored entries are served as memoised
+    views, and the method verifies against the shared packed dataset arena.
     """
+    packed = config.packed_match.lower() != "off"
+    if packed:
+        config = replace(config, packed_match="on")
+        if dataset_path is not None and os.path.exists(dataset_path):
+            method.rebind_dataset(
+                PackedGraphDataset.attach(dataset_path, name=method.dataset.name)
+            )
     caches: Dict[int, GraphCache] = {
         shard: GraphCache(method, _shard_config(config, shard, shards), matcher=matcher)
         for shard in owned
@@ -86,7 +125,10 @@ def _worker_loop(conn, owned, method, config, shards, matcher) -> None:
             if kind == "query":
                 replies: List[Tuple[int, CacheQueryResult]] = []
                 for position, shard, payload in message[1]:
-                    query = PackedGraph.decode_graph(payload)
+                    if packed:
+                        query: Graph = PackedGraphView(PackedGraph.from_bytes(payload))
+                    else:
+                        query = PackedGraph.decode_graph(payload)
                     replies.append((position, caches[shard].query(query)))
                 conn.send(("result", replies))
             elif kind == "stats":
@@ -95,6 +137,26 @@ def _worker_loop(conn, owned, method, config, shards, matcher) -> None:
                         "stats",
                         {
                             shard: cache.runtime_statistics.as_dict()
+                            for shard, cache in caches.items()
+                        },
+                    )
+                )
+            elif kind == "reseal":
+                published: Dict[int, int] = {}
+                for shard, cache in caches.items():
+                    count = 0
+                    for backend in cache.storage_backends():
+                        seal_delta = getattr(backend, "seal_delta", None)
+                        if seal_delta is not None:
+                            count += seal_delta()
+                    published[shard] = count
+                conn.send(("resealed", published))
+            elif kind == "arena_stats":
+                conn.send(
+                    (
+                        "arena_stats",
+                        {
+                            shard: _cache_arena_statistics(cache)
                             for shard, cache in caches.items()
                         },
                     )
@@ -163,6 +225,10 @@ class ProcessPoolCacheService:
         self._config = replace(
             base, backend="mmap", backend_path=backend_path, shards=shard_count
         )
+        self._packed = self._config.packed_match.lower() != "off"
+        self._dataset_path: Optional[str] = (
+            f"{backend_path}.dataset.arena" if self._packed else None
+        )
         self._method = method
         self._matcher = matcher
         self._workers = workers
@@ -230,6 +296,10 @@ class ProcessPoolCacheService:
             self._warm_cache.seal_storage()
             self._warm_cache.close()
             self._warm_cache = None
+        if self._dataset_path is not None and not os.path.exists(self._dataset_path):
+            # One shared packed copy of the target dataset: sealed here, once,
+            # then attached read-only by every worker after the fork.
+            seal_dataset(self._method.dataset, self._dataset_path)
         context = multiprocessing.get_context("fork")
         for worker in range(self._workers):
             owned = tuple(
@@ -247,6 +317,7 @@ class ProcessPoolCacheService:
                     self._config,
                     self._config.shards,
                     self._matcher,
+                    self._dataset_path,
                 ),
                 daemon=True,
             )
@@ -315,6 +386,49 @@ class ProcessPoolCacheService:
             for shard, payload in per_shard.items():
                 collected[shard] = CacheRuntimeStatistics(**payload)
         return collected
+
+    def reseal(self) -> Dict[int, int]:
+        """Publish every shard's arena tail as delta segments.
+
+        Broadcasts the ``reseal`` message: each worker calls
+        :meth:`~repro.core.backends.mmapped.MmapBackend.seal_delta` on its
+        shards' backends, appending one ``.deltaN`` file per dirty arena
+        without moving any sealed record (live views stay valid; no
+        stop-the-world rewrite).  Returns ``{shard: records published}``.
+        """
+        self.start()
+        published: Dict[int, int] = {}
+        for pipe in self._pipes:
+            pipe.send(("reseal",))
+        for pipe in self._pipes:
+            kind, per_shard = pipe.recv()
+            if kind != "resealed":  # pragma: no cover - protocol misuse guard
+                raise CacheError(f"unexpected worker reply {kind!r}")
+            published.update(per_shard)
+        return published
+
+    def arena_statistics(self) -> Dict[str, object]:
+        """Pool-wide arena occupancy (live/dead bytes, delta segments).
+
+        Aggregates every shard's per-backend
+        :meth:`~repro.core.backends.mmapped.MmapBackend.arena_statistics`
+        and keeps the per-shard breakdown under ``"shards"``.
+        """
+        self.start()
+        per_shard: Dict[int, Dict[str, object]] = {}
+        for pipe in self._pipes:
+            pipe.send(("arena_stats",))
+        for pipe in self._pipes:
+            kind, reply = pipe.recv()
+            if kind != "arena_stats":  # pragma: no cover - protocol misuse guard
+                raise CacheError(f"unexpected worker reply {kind!r}")
+            per_shard.update(reply)
+        return {
+            "live_bytes": sum(s["live_bytes"] for s in per_shard.values()),
+            "dead_bytes": sum(s["dead_bytes"] for s in per_shard.values()),
+            "delta_segments": sum(s["delta_segments"] for s in per_shard.values()),
+            "shards": {shard: per_shard[shard] for shard in sorted(per_shard)},
+        }
 
     def arena_paths(self) -> List[Path]:
         """Sealed segment files of every shard (cache + window stores)."""

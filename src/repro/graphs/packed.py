@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import struct
+from collections import OrderedDict
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -34,7 +35,14 @@ import numpy as np
 from ..exceptions import GraphError
 from .graph import _CSR_SCALAR_CUTOFF, Graph
 
-__all__ = ["PackedGraph", "INDPTR_DTYPE", "INDEX_DTYPE"]
+__all__ = [
+    "PackedGraph",
+    "PackedGraphView",
+    "INDPTR_DTYPE",
+    "INDEX_DTYPE",
+    "pack_graphs",
+    "table_cache_evictions",
+]
 
 #: Explicit little-endian dtypes: packed records are byte-identical across
 #: hosts, and a record written on one machine attaches on any other.
@@ -53,10 +61,32 @@ _ALIGN = 8
 
 #: Memoised label-table parses keyed by the raw JSON blob.  Workload graphs
 #: draw their labels from a dataset's small alphabet, so distinct blobs
-#: number in the hundreds while records number in the millions; the cap just
-#: bounds a pathological caller.
-_TABLE_CACHE: dict = {}
+#: number in the hundreds while records number in the millions; the LRU cap
+#: bounds a never-repeating label universe to a fixed footprint instead of
+#: letting the memo grow without limit.
+_TABLE_CACHE: "OrderedDict[bytes, Tuple[object, ...]]" = OrderedDict()
 _TABLE_CACHE_MAX = 4096
+_table_cache_evictions = 0
+
+
+def _cached_label_table(table_blob: bytes) -> Tuple[object, ...]:
+    """Parse (or recall) the JSON label table for ``table_blob``, LRU-bounded."""
+    global _table_cache_evictions
+    table = _TABLE_CACHE.get(table_blob)
+    if table is not None:
+        _TABLE_CACHE.move_to_end(table_blob)
+        return table
+    table = tuple(json.loads(table_blob))
+    _TABLE_CACHE[table_blob] = table
+    if len(_TABLE_CACHE) > _TABLE_CACHE_MAX:
+        _TABLE_CACHE.popitem(last=False)
+        _table_cache_evictions += 1
+    return table
+
+
+def table_cache_evictions() -> int:
+    """Number of label-table memo entries evicted by the LRU cap so far."""
+    return _table_cache_evictions
 
 
 def _pad(nbytes: int) -> int:
@@ -145,6 +175,39 @@ class PackedGraph:
         return tuple(table[code] for code in self.label_codes.tolist())
 
     # ------------------------------------------------------------------ #
+    # CSR-native candidate/adjacency protocol (matching without a Graph)
+    # ------------------------------------------------------------------ #
+    def degree(self, vertex: int) -> int:
+        """Degree of ``vertex`` (one read of the precomputed degree array)."""
+        return int(self.degrees[vertex])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Edge test via binary search on the sorted CSR row of ``u``."""
+        row = self.indices[self.indptr[u] : self.indptr[u + 1]]
+        pos = int(np.searchsorted(row, v))
+        return pos < len(row) and int(row[pos]) == v
+
+    def common_neighbors(self, u: int, v: int) -> np.ndarray:
+        """Sorted intersection of two CSR rows (two-pointer merge in numpy).
+
+        CSR rows are sorted and duplicate-free, so ``assume_unique`` lets
+        numpy run the linear merge instead of sorting the concatenation.
+        """
+        return np.intersect1d(self.neighbors(u), self.neighbors(v), assume_unique=True)
+
+    def label_code(self, vertex: int) -> int:
+        """Per-graph label code of ``vertex`` (index into :attr:`label_table`)."""
+        return int(self.label_codes[vertex])
+
+    def vertices_with_label(self, label: object) -> np.ndarray:
+        """Vertices carrying ``label``: one code lookup + one vectorised filter."""
+        try:
+            code = self.label_table.index(label)
+        except ValueError:
+            return np.empty(0, dtype=np.int64)
+        return np.nonzero(self.label_codes == code)[0]
+
+    # ------------------------------------------------------------------ #
     # Graph round-trip
     # ------------------------------------------------------------------ #
     @classmethod
@@ -227,7 +290,7 @@ class PackedGraph:
         codes = np.frombuffer(buffer, dtype=INDEX_DTYPE, count=n, offset=pos)
         pos += n * 4
         view = memoryview(buffer)
-        label_table = tuple(json.loads(bytes(view[pos : pos + label_len]).decode("utf-8")))
+        label_table = _cached_label_table(bytes(view[pos : pos + label_len]))
         pos += label_len
         graph_id = json.loads(bytes(view[pos : pos + id_len]).decode("utf-8"))
         # Trusted-record fast path: frombuffer already yields contiguous,
@@ -275,12 +338,7 @@ class PackedGraph:
         pos += n * 4
         if type(buffer) is not bytes:
             buffer = memoryview(buffer)
-        table_blob = bytes(buffer[pos : pos + label_len])
-        label_table = _TABLE_CACHE.get(table_blob)
-        if label_table is None:
-            label_table = tuple(json.loads(table_blob))
-            if len(_TABLE_CACHE) < _TABLE_CACHE_MAX:
-                _TABLE_CACHE[table_blob] = label_table
+        label_table = _cached_label_table(bytes(buffer[pos : pos + label_len]))
         pos += label_len
         graph_id = json.loads(bytes(buffer[pos : pos + id_len]))
         return Graph._from_csr_lists(indptr, indices, codes, label_table, graph_id)
@@ -307,3 +365,209 @@ class PackedGraph:
 def pack_graphs(graphs: Sequence[Graph]) -> Tuple[bytes, ...]:
     """Pack a sequence of graphs into byte records (convenience helper)."""
     return tuple(graph.to_packed().to_bytes() for graph in graphs)
+
+
+class PackedGraphView(Graph):
+    """A :class:`Graph` facade over a :class:`PackedGraph` — CSR-native matching.
+
+    The single matcher-facing adapter of the packed serving path: every
+    matcher (VF2/VF2+/Ullmann/GraphQL) and pipeline stage takes a ``Graph``,
+    and a view *is* one — ``isinstance``, equality, hashing and every read
+    method behave identically — but nothing is derived from the CSR record
+    until a caller actually needs it:
+
+    * the hot matcher reads (``degree``, ``has_edge``, ``order``/``size``)
+      answer straight off the packed arrays — ``has_edge`` is a
+      ``searchsorted`` probe of the sorted int32 row slice, not a set lookup;
+    * the **bitmask core** (neighbour/label/degree-threshold masks) is
+      materialised on first touch via the same scalar/vectorised CSR
+      constructors ``Graph._from_csr_lists`` dispatches to, so masks — and
+      therefore matcher work counters — are field-identical to a decoded
+      ``Graph``;
+    * the **structure tuples** (``labels``/``edges``/adjacency sets and the
+      label histogram) are materialised separately, only for callers that
+      walk them (feature extraction, hashing, the text codecs).
+
+    Materialised fields stick to the instance, so a long-lived view over a
+    sealed arena record (see :meth:`GraphArena.view_at
+    <repro.core.backends.arena.GraphArena.view_at>`) pays each derivation
+    once per process — and because its cached ``_hash`` survives with it,
+    per-(pattern, target) matcher plan caches keyed on the view keep hitting
+    across requests.  Lazy writes are idempotent derivations of the immutable
+    record, so concurrent readers may race them harmlessly.
+    """
+
+    __slots__ = ("_source",)
+
+    #: Fields derived together from the CSR record, as two independent groups.
+    _STRUCTURE_FIELDS = frozenset(
+        ("_labels", "_adjacency", "_edges", "_label_histogram", "_vertices_by_label")
+    )
+    _MASK_CORE_FIELDS = frozenset(
+        (
+            "_neighbor_masks",
+            "_label_ids",
+            "_label_masks",
+            "_label_id_counts",
+            "_degree_sequence",
+            "_degree_prefix_masks",
+            "_nbr_label_ge_masks",
+        )
+    )
+
+    def __init__(self, source: PackedGraph) -> None:
+        self._source = source
+        self._graph_id = source.graph_id
+        self._hash = None
+
+    def __getattr__(self, name: str):
+        # Only ever reached for *unset* slots (set ones resolve normally).
+        if name in PackedGraphView._MASK_CORE_FIELDS:
+            self._materialize_mask_core()
+        elif name in PackedGraphView._STRUCTURE_FIELDS:
+            self._materialize_structure()
+        else:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}"
+            )
+        return object.__getattribute__(self, name)
+
+    # ------------------------------------------------------------------ #
+    # Lazy materialisation (mirrors Graph._from_csr_lists field for field)
+    # ------------------------------------------------------------------ #
+    def _materialize_structure(self) -> None:
+        source = self._source
+        ptr = source.indptr.tolist()
+        idx = source.indices.tolist()
+        codes = source.label_codes.tolist()
+        table = source.label_table
+        n = len(codes)
+        self._labels = tuple([table[code] for code in codes])
+        rows = [idx[ptr[v] : ptr[v + 1]] for v in range(n)]
+        self._adjacency = tuple([frozenset(row) for row in rows])
+        self._edges = tuple(
+            [(u, v) for u, row in enumerate(rows) for v in row if u < v]
+        )
+        per_code: list = [[] for _ in table]
+        for vertex, code in enumerate(codes):
+            per_code[code].append(vertex)
+        histogram: dict = {}
+        by_label: dict = {}
+        for code, vertices in enumerate(per_code):
+            if vertices:
+                label = table[code]
+                histogram[label] = len(vertices)
+                by_label[label] = tuple(vertices)
+        self._label_histogram = histogram
+        self._vertices_by_label = by_label
+
+    def _materialize_mask_core(self) -> None:
+        source = self._source
+        n = source.order
+        if n <= _CSR_SCALAR_CUTOFF:
+            ptr = source.indptr.tolist()
+            idx = source.indices.tolist()
+            codes = source.label_codes.tolist()
+            rows = [idx[ptr[v] : ptr[v + 1]] for v in range(n)]
+            per_code: list = [[] for _ in source.label_table]
+            for vertex, code in enumerate(codes):
+                per_code[code].append(vertex)
+            self._init_bitmask_core_scalar_csr(ptr, rows, per_code, source.label_table)
+        else:
+            self._init_bitmask_core_from_csr(
+                source.indptr, source.indices, source.label_codes, source.label_table
+            )
+
+    # ------------------------------------------------------------------ #
+    # CSR-native reads (no materialisation)
+    # ------------------------------------------------------------------ #
+    @property
+    def packed(self) -> PackedGraph:
+        """The backing CSR record."""
+        return self._source
+
+    @property
+    def order(self) -> int:
+        return self._source.order
+
+    @property
+    def size(self) -> int:
+        return self._source.size
+
+    @property
+    def full_vertex_mask(self) -> int:
+        return (1 << self._source.order) - 1
+
+    def vertices(self) -> range:
+        return range(self._source.order)
+
+    def label(self, vertex: int) -> object:
+        return self._source.label_table[int(self._source.label_codes[vertex])]
+
+    def degree(self, vertex: int) -> int:
+        return int(self._source.degrees[vertex])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self._source.has_edge(u, v)
+
+    def has_vertex(self, vertex: int) -> bool:
+        return 0 <= vertex < self._source.order
+
+    def common_neighbors(self, u: int, v: int) -> np.ndarray:
+        """Sorted common neighbours (CSR two-pointer; see :class:`PackedGraph`)."""
+        return self._source.common_neighbors(u, v)
+
+    def average_degree(self) -> float:
+        if not self._source.order:
+            return 0.0
+        return 2.0 * self._source.size / self._source.order
+
+    def density(self) -> float:
+        n = self._source.order
+        if n < 2:
+            return 0.0
+        return 2.0 * self._source.size / (n * (n - 1))
+
+    def __len__(self) -> int:
+        return self._source.order
+
+    def __iter__(self):
+        return iter(range(self._source.order))
+
+    # ------------------------------------------------------------------ #
+    # Round-trips and identity
+    # ------------------------------------------------------------------ #
+    def to_packed(self) -> PackedGraph:
+        """Packing a view is free: return the backing record."""
+        return self._source
+
+    def with_id(self, graph_id: object) -> "PackedGraphView":
+        """A fresh view carrying ``graph_id`` (record re-labelled, not copied).
+
+        The validating :class:`PackedGraph` constructor recognises the arrays
+        as contiguous read-only views and adopts them without copying.
+        """
+        source = self._source
+        if graph_id == source.graph_id:
+            return PackedGraphView(source)
+        return PackedGraphView(
+            PackedGraph(
+                source.indptr,
+                source.indices,
+                source.label_codes,
+                source.label_table,
+                graph_id=graph_id,
+            )
+        )
+
+    def __reduce__(self):
+        # Views can wrap borrowed mmap pages; pickle the portable record.
+        return (_view_from_record, (self._source.to_bytes(),))
+
+    def __repr__(self) -> str:
+        ident = f" id={self._graph_id!r}" if self._graph_id is not None else ""
+        return f"<PackedGraphView{ident} |V|={self.order} |E|={self.size}>"
+
+
+def _view_from_record(payload: bytes) -> PackedGraphView:
+    return PackedGraphView(PackedGraph.from_bytes(payload))

@@ -110,6 +110,19 @@ class Method(abc.ABC):
             nodes_expanded=outcome.nodes_expanded,
         )
 
+    def rebind_dataset(self, dataset: GraphDataset) -> None:
+        """Swap in an equivalent dataset (same ids, same labelled graphs).
+
+        The multi-process serving path uses this after a fork: workers
+        attach the sealed packed dataset arena
+        (:class:`~repro.core.packed_dataset.PackedGraphDataset`) and rebind
+        it so verification runs against shared read-only CSR pages instead
+        of a per-process ``Graph`` copy.  Any index the method built keeps
+        addressing the same graph ids, so only content-identical
+        replacements are valid.
+        """
+        self._dataset = dataset
+
     def index_size_bytes(self) -> int:
         """Approximate index memory footprint (0 for index-less SI methods)."""
         return 0

@@ -1,0 +1,12 @@
+"""Golden fixture: exactly one REPRO007 write through an arena's PackedGraphView."""
+
+
+class Arena:
+    def view_at(self, extent):
+        pass
+
+
+class ViewMutator:
+    def violate(self, arena: Arena, extent) -> None:
+        view = arena.view_at(extent)
+        view.label_codes[0] = 3

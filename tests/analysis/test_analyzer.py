@@ -34,6 +34,7 @@ class TestGoldenFixtures:
             ("repro005_shim.py", "REPRO005", "deprecated shim"),
             ("repro006_store.py", "REPRO006", "store lock"),
             ("repro007_packed.py", "REPRO007", "PackedGraph"),
+            ("repro007_view.py", "REPRO007", "PackedGraph"),
         ],
     )
     def test_exactly_one_finding(self, fixture, rule, needle):

@@ -163,3 +163,95 @@ class TestSnapshotRecords:
             decoded = codec.decode({k: v for k, v in record.items() if k != "arena"})
             assert decoded == original
         backend.close()
+
+
+class TestDeltaSeal:
+    """Incremental re-seal: tails publish as delta segments, extents stay put."""
+
+    def test_first_seal_delta_falls_back_to_full_seal(self, tmp_path):
+        backend = make_backend(tmp_path)
+        backend.put(1, entry(1))
+        backend.put(2, entry(2))
+        assert backend.seal_delta() == 2
+        assert backend.arena.sealed
+        assert backend.arena.delta_count == 0
+        backend.close()
+
+    def test_delta_appends_without_moving_sealed_records(self, tmp_path):
+        backend = make_backend(tmp_path)
+        backend.put(1, entry(1))
+        backend.seal()
+        sealed_view = backend.get(1)
+        backend.put(2, entry(2, answers=(9,)))
+        assert backend.seal_delta() == 1
+        assert backend.arena.delta_count == 1
+        # The base record did not move and still decodes identically.
+        assert backend.get(1) == sealed_view
+        assert backend.get(2) == entry(2, answers=(9,))
+        backend.close()
+
+    def test_attach_adopts_base_plus_deltas(self, tmp_path):
+        backend = make_backend(tmp_path)
+        backend.put(1, entry(1))
+        backend.seal()
+        backend.put(2, entry(2))
+        backend.seal_delta()
+        backend.put(3, entry(3))
+        backend.seal_delta()
+        assert backend.arena.delta_count == 2
+        backend.close()
+
+        attached = make_backend(tmp_path)
+        assert sorted(attached.serials()) == [1, 2, 3]
+        for serial in (1, 2, 3):
+            assert attached.get(serial) == entry(serial)
+        assert attached.arena.delta_count == 2
+        attached.close()
+
+    def test_full_seal_folds_deltas_back(self, tmp_path):
+        backend = make_backend(tmp_path)
+        backend.put(1, entry(1))
+        backend.seal()
+        backend.put(2, entry(2))
+        backend.seal_delta()
+        delta_file = tmp_path / "store.entries.arena.delta1"
+        assert delta_file.exists()
+        backend.seal()
+        assert backend.arena.delta_count == 0
+        assert not delta_file.exists()
+        assert backend.get(2) == entry(2)
+        backend.close()
+
+    def test_empty_tail_publishes_nothing(self, tmp_path):
+        backend = make_backend(tmp_path)
+        backend.put(1, entry(1))
+        backend.seal()
+        assert backend.seal_delta() == 0
+        assert backend.arena.delta_count == 0
+        backend.close()
+
+
+class TestArenaStatistics:
+    def test_statistics_track_segments_and_occupancy(self, tmp_path):
+        backend = make_backend(tmp_path)
+        backend.put(1, entry(1))
+        backend.seal()
+        backend.put(2, entry(2))
+        backend.seal_delta()
+        stats = backend.arena_statistics()
+        assert stats["table"] == "entries"
+        assert stats["live_bytes"] > 0
+        assert stats["delta_segments"] == 1
+        kinds = [segment["kind"] for segment in stats["segments"]]
+        assert kinds == ["base", "delta"]
+        backend.close()
+
+    def test_dead_bytes_after_delete(self, tmp_path):
+        backend = make_backend(tmp_path)
+        backend.put(1, entry(1))
+        backend.put(2, entry(2))
+        backend.seal()
+        backend.delete(1)
+        stats = backend.arena_statistics()
+        assert stats["dead_bytes"] > 0
+        backend.close()

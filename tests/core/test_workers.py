@@ -146,3 +146,74 @@ class TestLifecycle:
             for path in paths:
                 assert path.exists()
                 assert path.suffix == ".arena"
+
+
+class TestPackedMatch:
+    """The zero-decode serving mode: same answers, decode_avoided pinned."""
+
+    def test_packed_counters_match_decode_path(self):
+        workload = _workload()
+        with ProcessPoolCacheService(
+            _method(), _config(packed_match="off"), workers=2
+        ) as pool:
+            decoded_results = pool.run(workload)
+            decoded = _counters(pool.runtime_statistics())
+            assert pool.runtime_statistics().decode_avoided == 0
+
+        with ProcessPoolCacheService(
+            _method(), _config(), workers=2  # default "auto" -> on in workers
+        ) as pool:
+            packed_results = pool.run(workload)
+            stats = pool.runtime_statistics()
+            assert _counters(stats) == decoded
+            # Zero Graph constructions in the worker query loop: every
+            # request arrived as a PackedGraphView.
+            assert stats.decode_avoided == len(workload)
+        assert [_result_fields(r) for r in packed_results] == [
+            _result_fields(r) for r in decoded_results
+        ]
+
+    def test_dataset_arena_sealed_once(self, tmp_path):
+        config = _config(backend="mmap", backend_path=str(tmp_path / "pool"))
+        with ProcessPoolCacheService(_method(), config, workers=2) as pool:
+            pool.run(_workload(count=6))
+            dataset_arena = tmp_path / "pool.dataset.arena"
+            assert dataset_arena.exists()
+
+    def test_packed_off_skips_dataset_arena(self, tmp_path):
+        config = _config(
+            backend="mmap",
+            backend_path=str(tmp_path / "pool"),
+            packed_match="off",
+        )
+        with ProcessPoolCacheService(_method(), config, workers=2) as pool:
+            pool.run(_workload(count=6))
+            assert not (tmp_path / "pool.dataset.arena").exists()
+
+    def test_reseal_publishes_deltas_and_serving_continues(self):
+        workload = _workload(count=24)
+        with ProcessPoolCacheService(_method(), _config(), workers=2) as pool:
+            pool.run(workload[:12])
+            first = pool.reseal()  # first seal of each shard's lifetime
+            assert sum(first.values()) > 0
+            pool.run(workload[12:18])
+            second = pool.reseal()  # now appends delta segments
+            assert set(second) == set(first)
+            stats = pool.arena_statistics()
+            assert stats["live_bytes"] > 0
+            assert stats["delta_segments"] >= 1
+            results = pool.run(workload[18:])
+            assert len(results) == 6
+            assert all(r is not None for r in results)
+
+    def test_arena_statistics_shape(self):
+        with ProcessPoolCacheService(_method(), _config(), workers=2) as pool:
+            pool.run(_workload(count=4))
+            stats = pool.arena_statistics()
+            assert set(stats) == {
+                "live_bytes", "dead_bytes", "delta_segments", "shards",
+            }
+            assert set(stats["shards"]) == set(range(pool.shard_count))
+            for shard_stats in stats["shards"].values():
+                for table in shard_stats["tables"]:
+                    assert {"table", "live_bytes", "dead_bytes"} <= set(table)
