@@ -29,6 +29,17 @@ CSR-native matching):
    against the stored query, served CSR-native on memoised views vs
    decode-then-match through fresh ``Graph`` construction; the packed
    route must clear 1.5× on the same host.
+6. **FTV index construction and serving** (PR: sealed shareable feature
+   index) — CSR-native ``packed_path_features`` vs the decode-then-extract
+   baseline over the bench payloads (the packed route must clear 2× in the
+   same process), cold ``FeatureIndexArena.attach`` + content-hash
+   handshake vs a full in-process index rebuild, and per-query filter rate
+   through the in-process trie vs the sealed CSR postings — candidate sets
+   asserted identical.
+7. **FTV identity grid** — decoded-built vs CSR-native-built indexes for
+   all three FTV methods on all 12 aids/pdbs scenarios: candidate sets per
+   query, full-pipeline runtime counters, and zero ``Graph`` constructions
+   while building over the packed dataset.
 
 As established in PR 1, assertions run on deterministic counters and
 round-trip equality only; wall-clock figures are printed and written to
@@ -39,6 +50,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import tempfile
 import time
 from functools import lru_cache
 from typing import Dict, List, Tuple
@@ -51,13 +63,18 @@ from _shared import (
     workload_by_label,
 )
 from repro.bench.reporting import format_table
-from repro.bench.scenarios import bench_config, get_method
-from repro.core import ProcessPoolCacheService, ShardedGraphCache
+from repro.bench.scenarios import bench_config, get_dataset, get_method
+from repro.core import GraphCache, ProcessPoolCacheService, ShardedGraphCache
 from repro.core.backends import create_backend
+from repro.core.packed_dataset import PackedGraphDataset, seal_dataset
 from repro.core.stores import CacheEntry, CacheEntryCodec
-from repro.graphs.graph import Graph
+from repro.ftv.features import extract_label_paths, packed_path_features
+from repro.ftv.ggsx import GraphGrepSX
+from repro.ftv.index_arena import FeatureIndexArena, dataset_content_hash
+from repro.graphs.graph import Graph, graph_constructions
 from repro.graphs.packed import PackedGraph
 from repro.isomorphism import matcher_by_name
+from repro.methods import method_by_name
 
 METHOD = "ggsx"
 DATASETS = ("aids", "pdbs")
@@ -351,6 +368,209 @@ def _storage_cells(tmp_root: str) -> Dict[str, object]:
     }
 
 
+# ---------------------------------------------------------------------- #
+# Cells 6–7: FTV index construction, sealed-index serving, identity grid.
+# ---------------------------------------------------------------------- #
+FTV_METHODS = ("ggsx", "grapes1", "ctindex")
+FTV_PATH_LENGTH = 4
+
+
+@lru_cache(maxsize=1)
+def _ftv_root() -> str:
+    """Shared scratch directory for the FTV cells (sealed segments)."""
+    return tempfile.mkdtemp(prefix="bench_ftv_")
+
+
+@lru_cache(maxsize=None)
+def _ftv_packed_dataset(dataset: str) -> PackedGraphDataset:
+    path = os.path.join(_ftv_root(), f"{dataset}.dataset.arena")
+    if not os.path.exists(path):
+        seal_dataset(get_dataset(dataset), path)
+    return PackedGraphDataset.attach(path, name=get_dataset(dataset).name)
+
+
+@lru_cache(maxsize=1)
+def _ftv_index_cells() -> Dict[str, object]:
+    """Build-rate, cold-attach-vs-rebuild, and filter-rate cells (aids)."""
+    dataset = get_dataset("aids")
+    payloads = [graph.to_packed().to_bytes() for graph in dataset]
+
+    # -- Build rate: decode-then-extract vs CSR-native, same process. -- #
+    for payload in payloads:  # Counter identity before any timing
+        assert packed_path_features(
+            PackedGraph.from_bytes(payload), FTV_PATH_LENGTH
+        ) == extract_label_paths(
+            PackedGraph.decode_graph(payload), FTV_PATH_LENGTH
+        )
+    # The two routes are timed interleaved (decoded, CSR, decoded, CSR, …)
+    # so host-level noise — frequency scaling, a neighbour stealing the
+    # core — hits both sides alike and the ratio stays fair.
+    decoded_best = csr_best = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        for payload in payloads:
+            extract_label_paths(PackedGraph.decode_graph(payload), FTV_PATH_LENGTH)
+        decoded_best = min(decoded_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        for payload in payloads:
+            packed_path_features(PackedGraph.from_bytes(payload), FTV_PATH_LENGTH)
+        csr_best = min(csr_best, time.perf_counter() - start)
+    decoded_rate = len(payloads) / decoded_best
+    csr_rate = len(payloads) / csr_best
+
+    # -- Cold attach + handshake vs full in-process index rebuild. ----- #
+    # A forked worker inherits the parent's built method, so the cold cost
+    # it pays for a serving-ready filter is exactly attach + content-hash
+    # handshake; a from-scratch process without the segment pays the full
+    # CSR-native build instead.
+    packed_ds = _ftv_packed_dataset("aids")
+    index_path = os.path.join(_ftv_root(), "aids.ftv.arena")
+    if not os.path.exists(index_path):
+        GraphGrepSX(dataset).seal_feature_index(index_path)
+    rebuild_start = time.perf_counter()
+    trie_method = GraphGrepSX(packed_ds)
+    rebuild_s = time.perf_counter() - rebuild_start
+    attach_s = float("inf")
+    expected_hash = dataset_content_hash(packed_ds)
+    for _ in range(5):
+        start = time.perf_counter()
+        arena = FeatureIndexArena.attach(index_path)
+        assert arena.dataset_hash == expected_hash
+        attach_s = min(attach_s, time.perf_counter() - start)
+
+    # -- Per-query filter rate: in-process trie vs sealed postings. ---- #
+    attached_method = GraphGrepSX(packed_ds)
+    assert attached_method.attach_feature_index(index_path) is True
+    workload = list(workload_by_label("aids", "ZZ"))
+    for query in workload:  # candidate identity before any timing
+        assert trie_method.candidates(query) == attached_method.candidates(query)
+    trie_filter_rate = _best_rate(
+        lambda: [trie_method.candidates(query) for query in workload],
+        len(workload),
+    )
+    index_filter_rate = _best_rate(
+        lambda: [attached_method.candidates(query) for query in workload],
+        len(workload),
+    )
+
+    return {
+        "build_rate": {
+            "graphs": len(payloads),
+            "max_path_length": FTV_PATH_LENGTH,
+            "decoded_graphs_per_s": decoded_rate,
+            "csr_native_graphs_per_s": csr_rate,
+            "ratio_csr_vs_decoded": csr_rate / decoded_rate,
+        },
+        "startup": {
+            "rebuild_index_s": rebuild_s,
+            "cold_attach_s": attach_s,
+            "ratio_rebuild_vs_attach": rebuild_s / attach_s,
+        },
+        "filter_rate": {
+            "queries": len(workload),
+            "trie_queries_per_s": trie_filter_rate,
+            "sealed_index_queries_per_s": index_filter_rate,
+        },
+    }
+
+
+@lru_cache(maxsize=1)
+def _ftv_identity_rows() -> Tuple[Dict[str, object], ...]:
+    """One row per (dataset, method, label): decoded-built vs
+    CSR-native-built index — candidate sets and pipeline counters."""
+    rows: List[Dict[str, object]] = []
+    for dataset_name in DATASETS:
+        dataset = get_dataset(dataset_name)
+        packed_ds = _ftv_packed_dataset(dataset_name)
+        for method_name in FTV_METHODS:
+            decoded_method = method_by_name(method_name, dataset)
+            before = graph_constructions()
+            packed_method = method_by_name(method_name, packed_ds)
+            packed_build_constructions = graph_constructions() - before
+            for label in WORKLOAD_LABELS:
+                workload = workload_by_label(dataset_name, label)
+                candidates_equal = all(
+                    decoded_method.candidates(query)
+                    == packed_method.candidates(query)
+                    for query in workload
+                )
+                counters = []
+                for method in (decoded_method, packed_method):
+                    cache = GraphCache(method, bench_config())
+                    for query in workload:
+                        cache.query(query)
+                    counters.append(_runtime_counters(cache.runtime_statistics))
+                    cache.close()
+                rows.append(
+                    {
+                        "dataset": dataset_name,
+                        "method": method_name,
+                        "label": label,
+                        "candidates_equal": candidates_equal,
+                        "decoded": counters[0],
+                        "packed": counters[1],
+                        "packed_build_constructions": packed_build_constructions,
+                    }
+                )
+    return tuple(rows)
+
+
+def test_ftv_index_build_attach_and_filter(benchmark):
+    """CSR-native build ≥ 2× decoded; attach beats rebuild; filter identity."""
+    cells = benchmark.pedantic(_ftv_index_cells, rounds=1, iterations=1)
+    build, startup = cells["build_rate"], cells["startup"]
+    filter_rate = cells["filter_rate"]
+    # The acceptance bar of the CSR-native extraction rewrite: both routes
+    # are measured back-to-back in this process, so the ratio is host-fair.
+    assert build["ratio_csr_vs_decoded"] >= 2.0
+    assert startup["cold_attach_s"] < startup["rebuild_index_s"]
+    print()
+    print(
+        format_table(
+            [
+                {"ftv cell": "decode-then-extract build",
+                 "rate": f"{build['decoded_graphs_per_s']:.0f} graphs/s"},
+                {"ftv cell": "CSR-native build",
+                 "rate": f"{build['csr_native_graphs_per_s']:.0f} graphs/s"},
+                {"ftv cell": "CSR / decoded",
+                 "rate": f"{build['ratio_csr_vs_decoded']:.2f}x"},
+                {"ftv cell": "index rebuild startup",
+                 "rate": f"{startup['rebuild_index_s'] * 1e3:.1f} ms"},
+                {"ftv cell": "sealed-index cold attach",
+                 "rate": f"{startup['cold_attach_s'] * 1e3:.1f} ms"},
+                {"ftv cell": "trie filter",
+                 "rate": f"{filter_rate['trie_queries_per_s']:.0f} queries/s"},
+                {"ftv cell": "sealed-index filter",
+                 "rate": f"{filter_rate['sealed_index_queries_per_s']:.0f} queries/s"},
+            ]
+        )
+    )
+
+
+def test_ftv_index_identity_grid(benchmark):
+    """Decoded-built ≡ CSR-native-built on all scenarios × FTV methods."""
+    rows = benchmark.pedantic(_ftv_identity_rows, rounds=1, iterations=1)
+    assert len(rows) == len(DATASETS) * len(FTV_METHODS) * len(WORKLOAD_LABELS)
+    table_rows = []
+    for row in rows:
+        scenario = (row["dataset"], row["method"], row["label"])
+        assert row["candidates_equal"], scenario
+        assert row["decoded"] == row["packed"], scenario
+        # Decode-free startup: building over the packed dataset went through
+        # the CSR-native extractors without materialising a single Graph.
+        assert row["packed_build_constructions"] == 0, scenario
+        table_rows.append(
+            {
+                "scenario": f"{row['dataset']}/{row['method']}/{row['label']}",
+                "queries": row["decoded"]["queries_processed"],
+                "subiso": row["decoded"]["subiso_tests"],
+                "decoded≡csr": "ok",
+            }
+        )
+    print()
+    print(format_table(table_rows))
+
+
 def test_mmap_build_decode_and_worker_scaling(benchmark, tmp_path):
     """Build/decode/QPS cells; writes ``BENCH_mmap_scaling.json``."""
     cells = benchmark.pedantic(
@@ -426,6 +646,8 @@ def test_mmap_build_decode_and_worker_scaling(benchmark, tmp_path):
     )
 
     identity = _identity_rows()
+    ftv_cells = _ftv_index_cells()
+    ftv_rows = _ftv_identity_rows()
     emit_bench_json(
         "mmap_scaling",
         {
@@ -463,6 +685,29 @@ def test_mmap_build_decode_and_worker_scaling(benchmark, tmp_path):
                     row["decode_avoided"] == row["requests"]
                     for row in identity
                 ),
+            },
+            "ftv_index": {
+                **ftv_cells,
+                "notes": (
+                    "build/attach/filter rates are measured back-to-back in "
+                    "one process (the host is timing-noisy across "
+                    "processes); on a single-core host the sealed index "
+                    "still removes per-worker rebuild work but adds no "
+                    "parallel speedup."
+                ),
+                "identity_grid": {
+                    "scenarios": len(ftv_rows),
+                    "methods": list(FTV_METHODS),
+                    "candidates_equal": all(
+                        row["candidates_equal"] for row in ftv_rows
+                    ),
+                    "counters_equal": all(
+                        row["decoded"] == row["packed"] for row in ftv_rows
+                    ),
+                    "packed_build_graph_constructions": sum(
+                        row["packed_build_constructions"] for row in ftv_rows
+                    ),
+                },
             },
         },
     )

@@ -230,6 +230,11 @@ def _add_experiment_arguments(
                         help="append every applied maintenance plan to this "
                              "file (one JSON line per round; sharded caches "
                              "write one file per shard)")
+    parser.add_argument("--compaction-threshold", type=float, default=None,
+                        help="automatic mmap-arena compaction: after each "
+                             "delta publish, fold any backend whose "
+                             "dead/live byte ratio crosses this value "
+                             "(default: never compact automatically)")
     parser.add_argument("--seed", type=int, default=0, help="generation seed")
 
 
@@ -321,6 +326,7 @@ def _experiment_config(
         maintenance_mode=args.maintenance_mode,
         packed_match=args.packed_match,
         journal_path=None if args.journal_path is None else str(args.journal_path),
+        compaction_threshold=args.compaction_threshold,
     )
 
 
@@ -375,7 +381,18 @@ def _batch_multiprocess(args, method, workload, config) -> int:
     """Serve the workload through N forked workers over a sealed mmap arena."""
     service = ProcessPoolCacheService(method, config, workers=args.workers)
     try:
-        results = service.run(list(workload))
+        queries = list(workload)
+        if config.compaction_threshold is not None:
+            # Interleave delta publishes with the workload so churn can
+            # cross the threshold and the automatic folds have a chance
+            # to run (and show up in the report) within one batch.
+            half = len(queries) // 2
+            results = service.run(queries[:half])
+            service.reseal()
+            results += service.run(queries[half:])
+            service.reseal()
+        else:
+            results = service.run(queries)
         runtime = service.runtime_statistics()
         count = len(results)
         stages = aggregate_stage_times(results)
@@ -393,7 +410,10 @@ def _batch_multiprocess(args, method, workload, config) -> int:
         for stage in STAGE_NAMES:
             row[f"{stage}_ms"] = round(stages.get(stage, 0.0) * 1000.0, 3)
         print(format_table([row]))
-        for line in _arena_stat_lines(service.arena_statistics()):
+        stats = service.arena_statistics()
+        for line in _arena_stat_lines(stats):
+            print(line)
+        for line in _compaction_lines(stats.get("compaction_events", [])):
             print(line)
     finally:
         service.close()
@@ -421,6 +441,24 @@ def _arena_stat_lines(stats) -> list:
                         segment["dead_bytes"],
                     )
                 )
+    return lines
+
+
+def _compaction_lines(events) -> list:
+    """Render automatic-compaction events as indented report lines."""
+    if not events:
+        return []
+    lines = [f"compaction: {len(events)} fold(s)"]
+    for event in events:
+        lines.append(
+            "  table {}: trigger_ratio={:.3f} bytes_reclaimed={} "
+            "segments_folded={}".format(
+                event["table"],
+                event["trigger_ratio"],
+                event["bytes_reclaimed"],
+                event["segments_folded"],
+            )
+        )
     return lines
 
 
@@ -549,7 +587,18 @@ def _command_maintenance(args: argparse.Namespace) -> int:
     method, workload = _build_experiment(args)
     config = _experiment_config(args)
     service = GraphCacheService.for_method(method, config)
-    service.query_many(list(workload), jobs=1)
+    queries = list(workload)
+    if config.compaction_threshold is not None:
+        # Publish the arena tails mid-run: dead bytes only accrue when
+        # *sealed* records are later evicted, so the second half's churn is
+        # what pushes the dead/live ratio over the threshold.
+        half = len(queries) // 2
+        service.query_many(queries[:half], jobs=1)
+        service.drain_maintenance()
+        service.cache.seal_delta_storage()
+        service.query_many(queries[half:], jobs=1)
+    else:
+        service.query_many(queries, jobs=1)
     service.drain_maintenance()
     # Filter reports and plans together so the per-round op columns can
     # never shift onto the wrong row if a plan-less report ever appears.
@@ -568,7 +617,15 @@ def _command_maintenance(args: argparse.Namespace) -> int:
         print(line)
     runtime = service.cache.runtime_statistics
     print(f"decode_avoided: {runtime.decode_avoided}")
-    for line in _cache_arena_lines(service.cache):
+    cache = service.cache
+    if config.compaction_threshold is not None:
+        # Publish the arena tails so churn from the run above can trigger
+        # the automatic fold; the stats below then show the post-fold state.
+        cache.seal_delta_storage()
+        cache.drain_maintenance()
+    for line in _cache_arena_lines(cache):
+        print(line)
+    for line in _compaction_lines(getattr(cache, "compaction_events", [])):
         print(line)
     service.close()
     return 0

@@ -279,6 +279,39 @@ class MmapBackend(StorageBackend):
                 self._write_sidecar(records)
             return published
 
+    def compact(self, trigger_ratio: Optional[float] = None) -> Dict[str, Any]:
+        """Fold every delta segment (and all dead bytes) into a fresh base seal.
+
+        This is the reclamation half of the delta lifecycle: ``seal_delta``
+        appends segments forever and never reclaims dead extents, so a
+        long-lived backend calls ``compact`` when the dead/live ratio crosses
+        the configured threshold (see
+        :attr:`~repro.core.config.GraphCacheConfig.compaction_threshold`).
+        Runs a full :meth:`seal` under the backend lock — extents move, but
+        every live record survives byte-identically — and returns the event
+        record the cache surfaces to the CLI: trigger ratio, bytes
+        reclaimed, and how many delta segments were folded.
+        """
+        with self._lock:
+            before_dead = self._arena.dead_bytes
+            folded = self._arena.delta_count
+            ratio = (
+                trigger_ratio
+                if trigger_ratio is not None
+                else before_dead / self._arena.live_bytes
+                if self._arena.live_bytes
+                else float("inf")
+            )
+            self.seal()
+            return {
+                "table": self._table,
+                "trigger_ratio": ratio,
+                "bytes_reclaimed": before_dead - self._arena.dead_bytes,
+                "segments_folded": folded,
+                "live_bytes": self._arena.live_bytes,
+                "dead_bytes": self._arena.dead_bytes,
+            }
+
     def arena_statistics(self) -> Dict[str, Any]:
         """Occupancy of the backing arena (re-seal pressure observability)."""
         with self._lock:

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..analysis.runtime import make_lock, make_rlock
 from ..exceptions import CacheError
@@ -311,6 +311,12 @@ class GraphCache:
         self._serial = 0
         self._runtime = CacheRuntimeStatistics()
         self._results: List[CacheQueryResult] = []
+        # Arena-compaction bookkeeping: completed event records (list.append
+        # is GIL-atomic — events land from scheduler worker threads) and the
+        # backends with a fold currently scheduled (guards double-submission
+        # when deltas publish faster than the worker folds).
+        self._compaction_events: List[Dict[str, object]] = []
+        self._compaction_pending: Set[int] = set()
         self._serial_lock = make_lock("serial")
         self._pipeline = QueryPipeline(
             MfilterStage(method),
@@ -700,6 +706,62 @@ class GraphCache:
             seal = getattr(backend, "seal", None)
             if seal is not None:
                 seal()
+
+    def seal_delta_storage(self) -> int:
+        """Publish every store's arena tail as delta segments (append-only).
+
+        The long-lived-pool re-seal tick: each mmap backend's
+        :meth:`~repro.core.backends.mmapped.MmapBackend.seal_delta` appends
+        one ``.deltaN`` file (extents never move).  Afterwards, if
+        ``config.compaction_threshold`` is set, any backend whose
+        ``dead_bytes / live_bytes`` ratio crossed it gets a full compacting
+        fold *scheduled* through the maintenance scheduler — inline under
+        ``sync``, on the worker thread (off the query path) under
+        ``background``/``barrier``.  Returns the number of records
+        published.
+        """
+        published = 0
+        for backend in self.storage_backends():
+            seal_delta = getattr(backend, "seal_delta", None)
+            if seal_delta is not None:
+                published += seal_delta()
+        self._maybe_schedule_compaction()
+        return published
+
+    @property
+    def compaction_events(self) -> List[Dict[str, object]]:
+        """Completed automatic-compaction events (oldest first)."""
+        return list(self._compaction_events)
+
+    def _maybe_schedule_compaction(self) -> None:
+        """Submit a compaction task for every backend over the dead/live threshold."""
+        threshold = self._config.compaction_threshold
+        if threshold is None:
+            return
+        for backend in self.storage_backends():
+            compact = getattr(backend, "compact", None)
+            arena_statistics = getattr(backend, "arena_statistics", None)
+            if compact is None or arena_statistics is None:
+                continue
+            stats = arena_statistics()
+            live, dead = stats["live_bytes"], stats["dead_bytes"]
+            if dead <= 0:
+                continue
+            ratio = dead / live if live else float("inf")
+            if ratio < threshold:
+                continue
+            key = id(backend)
+            if key in self._compaction_pending:
+                continue
+            self._compaction_pending.add(key)
+
+            def fold(backend=backend, ratio=ratio, key=key) -> None:
+                try:
+                    self._compaction_events.append(backend.compact(trigger_ratio=ratio))
+                finally:
+                    self._compaction_pending.discard(key)
+
+            self._scheduler.submit_task(fold)
 
     def results(self) -> List[CacheQueryResult]:
         """Per-query results since the cache was created."""

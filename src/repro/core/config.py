@@ -120,6 +120,14 @@ class GraphCacheConfig:
         :class:`~repro.core.policies.plan.MaintenancePlan`).  ``None`` keeps
         the journal in memory only.  Sharded caches derive one file per
         shard from this path, like ``backend_path``.
+    compaction_threshold:
+        Automatic arena compaction trigger for the mmap backend: after each
+        delta publish (:meth:`~repro.core.cache.GraphCache.seal_delta_storage`),
+        any arena whose ``dead_bytes / live_bytes`` ratio reaches this value
+        is folded by a full :meth:`~repro.core.backends.mmapped.MmapBackend.compact`
+        — scheduled through the maintenance scheduler, so in ``background``
+        mode the fold runs off the query path.  ``None`` (default) disables
+        automatic compaction; deltas accumulate until an explicit seal.
     """
 
     cache_capacity: int = 100
@@ -141,6 +149,7 @@ class GraphCacheConfig:
     maintenance_mode: str = "sync"
     packed_match: str = "auto"
     journal_path: Optional[str] = None
+    compaction_threshold: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.cache_capacity <= 0:
@@ -198,6 +207,8 @@ class GraphCacheConfig:
                 f"unknown packed_match mode {self.packed_match!r}; "
                 f"valid modes: {', '.join(_VALID_PACKED_MATCH)}"
             )
+        if self.compaction_threshold is not None and self.compaction_threshold <= 0:
+            raise CacheError("compaction_threshold must be positive (or None)")
 
     # ------------------------------------------------------------------ #
     def with_policy(self, policy: str) -> "GraphCacheConfig":
@@ -260,6 +271,10 @@ class GraphCacheConfig:
         """Return a copy using a different CSR-native serving mode."""
         return replace(self, packed_match=packed_match)
 
+    def with_compaction(self, threshold: Optional[float]) -> "GraphCacheConfig":
+        """Return a copy with a different automatic-compaction threshold."""
+        return replace(self, compaction_threshold=threshold)
+
     def label(self) -> str:
         """Short label like ``c100-b20`` used in the paper's figures.
 
@@ -275,4 +290,6 @@ class GraphCacheConfig:
             label += f"-{self.maintenance_mode.lower()}"
         if self.packed_match.lower() == "on":
             label += "-pm"
+        if self.compaction_threshold is not None:
+            label += f"-compact{self.compaction_threshold:g}"
         return label

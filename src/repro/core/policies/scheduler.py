@@ -46,7 +46,7 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
 
 from ...analysis.runtime import make_lock
 from ...exceptions import CacheError
@@ -79,12 +79,22 @@ class SchedulerCounters:
     idents that executed decide+apply — the background benchmark asserts the
     query thread's ident never appears there, i.e. zero decide-phase ops on
     the query path.
+
+    ``tasks`` / ``inline_tasks`` / ``worker_tasks`` /
+    ``task_thread_idents`` account for *storage-maintenance tasks* submitted
+    through :meth:`MaintenanceScheduler.submit_task` (arena compaction) the
+    same way — the compaction tests pin "no compaction work on the query
+    thread" on them in background mode.
     """
 
     rounds: int = 0
     inline_rounds: int = 0
     worker_rounds: int = 0
     decide_thread_idents: Set[int] = field(default_factory=set)
+    tasks: int = 0
+    inline_tasks: int = 0
+    worker_tasks: int = 0
+    task_thread_idents: Set[int] = field(default_factory=set)
 
 
 class MaintenanceScheduler:
@@ -184,6 +194,22 @@ class MaintenanceScheduler:
             self.counters.decide_thread_idents.add(threading.get_ident())
         return report
 
+    def _execute_task(self, task: Callable[[], None], inline: bool) -> None:
+        """Run one storage-maintenance task and account for where it ran.
+
+        The task executes *before* the state lock is taken (tasks do their
+        own locking — arena compaction runs under the backend lock — and
+        nesting it inside ``scheduler.state`` would invert the lock ranks).
+        """
+        task()
+        with self._state_lock:
+            self.counters.tasks += 1
+            if inline:
+                self.counters.inline_tasks += 1
+            else:
+                self.counters.worker_tasks += 1
+            self.counters.task_thread_idents.add(threading.get_ident())
+
     # ------------------------------------------------------------------ #
     # The scheduling contract.
     # ------------------------------------------------------------------ #
@@ -196,6 +222,17 @@ class MaintenanceScheduler:
         returning (``sync``/``barrier``), else ``None`` (``background``).
         """
         raise NotImplementedError
+
+    def submit_task(self, task: Callable[[], None]) -> None:
+        """Schedule one storage-maintenance task (e.g. arena compaction).
+
+        Tasks follow the scheduler's round placement: ``sync`` runs them
+        inline on the submitting thread, ``background`` hands them to the
+        worker thread (off the query path), ``barrier`` runs them on the
+        worker and waits.  :meth:`drain` covers pending tasks exactly like
+        pending rounds.
+        """
+        self._execute_task(task, inline=True)
 
     def drain(self) -> None:
         """Block until every submitted round has been applied.
@@ -246,7 +283,9 @@ class BackgroundMaintenanceScheduler(MaintenanceScheduler):
         journal: Optional[PlanJournal] = None,
     ) -> None:
         super().__init__(engine, gc_lock=gc_lock, journal=journal)
-        self._queue: "queue.Queue[Optional[Tuple[List[WindowEntry], int]]]" = (
+        # Queue items: None (shutdown sentinel), a (window, serial) round, or
+        # a callable storage-maintenance task (submit_task).
+        self._queue: "queue.Queue[Union[None, Tuple[List[WindowEntry], int], Callable[[], None]]]" = (
             queue.Queue()
         )
         self._worker: Optional[threading.Thread] = None
@@ -271,6 +310,9 @@ class BackgroundMaintenanceScheduler(MaintenanceScheduler):
             try:
                 if task is None:
                     return
+                if callable(task):
+                    self._execute_task(task, inline=False)
+                    continue
                 window_entries, current_serial = task
                 self._execute_round(window_entries, current_serial, inline=False)
             except BaseException as exc:  # noqa: BLE001 - surfaced on drain
@@ -300,6 +342,15 @@ class BackgroundMaintenanceScheduler(MaintenanceScheduler):
             self._ensure_worker_locked()
             self._queue.put((list(window_entries), current_serial))
         return None
+
+    def submit_task(self, task: Callable[[], None]) -> None:
+        self._raise_pending_failure()
+        # Same critical section as submit(): never enqueue after close().
+        with self._worker_lock:
+            if self._closed:
+                raise CacheError("maintenance scheduler is closed")
+            self._ensure_worker_locked()
+            self._queue.put(task)
 
     def drain(self) -> None:
         self._queue.join()
@@ -348,6 +399,12 @@ class BarrierMaintenanceScheduler(BackgroundMaintenanceScheduler):
         self._raise_pending_failure()
         with self._state_lock:
             return self._reports[-1] if self._reports else None
+
+    def submit_task(self, task: Callable[[], None]) -> None:
+        # Tasks keep the barrier semantics: run on the worker, wait here.
+        super().submit_task(task)
+        self._queue.join()
+        self._raise_pending_failure()
 
 
 _SCHEDULERS = {

@@ -40,7 +40,7 @@ import zlib
 from collections import Counter
 from dataclasses import fields, replace
 from pathlib import Path
-from typing import FrozenSet, List, Optional, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
 
 from ..graphs.graph import Graph
 from ..isomorphism.base import SubgraphMatcher
@@ -249,6 +249,22 @@ class ShardedGraphCache:
         """Seal every shard's sealable backends (mmap segment publish)."""
         for shard in self._shards:
             shard.seal_storage()
+
+    def seal_delta_storage(self) -> int:
+        """Delta-publish every shard's arena tails; returns records published.
+
+        Each shard also runs its automatic-compaction check (see
+        :meth:`GraphCache.seal_delta_storage`).
+        """
+        return sum(shard.seal_delta_storage() for shard in self._shards)
+
+    @property
+    def compaction_events(self) -> List[Dict[str, object]]:
+        """Completed automatic-compaction events across shards (shard order)."""
+        collected: List[Dict[str, object]] = []
+        for shard in self._shards:
+            collected.extend(shard.compaction_events)
+        return collected
 
     def close(self) -> None:
         """Release every shard's pipeline and backend resources."""

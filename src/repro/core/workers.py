@@ -89,10 +89,13 @@ def _cache_arena_statistics(cache: GraphCache) -> Dict[str, object]:
         "dead_bytes": sum(t["dead_bytes"] for t in tables),
         "delta_segments": sum(t["delta_segments"] for t in tables),
         "tables": tables,
+        "compaction_events": cache.compaction_events,
     }
 
 
-def _worker_loop(conn, owned, method, config, shards, matcher, dataset_path) -> None:
+def _worker_loop(
+    conn, owned, method, config, shards, matcher, dataset_path, ftv_index_path
+) -> None:
     """Serve full pipelines for the owned shards until told to close.
 
     Runs in the forked child.  ``method`` and ``config`` arrive through the
@@ -103,6 +106,14 @@ def _worker_loop(conn, owned, method, config, shards, matcher, dataset_path) -> 
     views strictly cheaper) the loop is zero-decode: queries open as
     :class:`PackedGraphView` records, stored entries are served as memoised
     views, and the method verifies against the shared packed dataset arena.
+
+    When the parent sealed a ``*.ftv.arena`` feature index, the worker
+    attaches it instead of serving from the copy-on-write image of the
+    parent's built index — the postings become shared read-only pages.  A
+    stale or mismatched index (dataset resealed after the build, different
+    method parameters) fails the attach validation with a warning and the
+    worker rebuilds in-process; over the attached packed dataset the rebuild
+    is still CSR-native and decode-free.
     """
     packed = config.packed_match.lower() != "off"
     if packed:
@@ -111,6 +122,9 @@ def _worker_loop(conn, owned, method, config, shards, matcher, dataset_path) -> 
             method.rebind_dataset(
                 PackedGraphDataset.attach(dataset_path, name=method.dataset.name)
             )
+            if ftv_index_path is not None and os.path.exists(ftv_index_path):
+                if not method.attach_feature_index(ftv_index_path):
+                    method.rebuild_index()
     caches: Dict[int, GraphCache] = {
         shard: GraphCache(method, _shard_config(config, shard, shards), matcher=matcher)
         for shard in owned
@@ -144,12 +158,11 @@ def _worker_loop(conn, owned, method, config, shards, matcher, dataset_path) -> 
             elif kind == "reseal":
                 published: Dict[int, int] = {}
                 for shard, cache in caches.items():
-                    count = 0
-                    for backend in cache.storage_backends():
-                        seal_delta = getattr(backend, "seal_delta", None)
-                        if seal_delta is not None:
-                            count += seal_delta()
-                    published[shard] = count
+                    published[shard] = cache.seal_delta_storage()
+                    # Any compaction the delta publish triggered must finish
+                    # before the reply: the reseal tick is the pool's control
+                    # plane, so folds drain here, never on the query path.
+                    cache.drain_maintenance()
                 conn.send(("resealed", published))
             elif kind == "arena_stats":
                 conn.send(
@@ -229,6 +242,14 @@ class ProcessPoolCacheService:
         self._dataset_path: Optional[str] = (
             f"{backend_path}.dataset.arena" if self._packed else None
         )
+        # One sealed feature index shared by the pool, when the method can
+        # compile one (FTV methods).  Sealed in start(), attached by every
+        # worker after the fork.
+        self._ftv_index_path: Optional[str] = (
+            f"{backend_path}.ftv.arena"
+            if self._packed and hasattr(method, "seal_feature_index")
+            else None
+        )
         self._method = method
         self._matcher = matcher
         self._workers = workers
@@ -300,6 +321,17 @@ class ProcessPoolCacheService:
             # One shared packed copy of the target dataset: sealed here, once,
             # then attached read-only by every worker after the fork.
             seal_dataset(self._method.dataset, self._dataset_path)
+        if self._ftv_index_path is not None and not os.path.exists(self._ftv_index_path):
+            # Compile the parent's built feature index into one sealed
+            # segment; workers attach it instead of rederiving (or carrying
+            # a copy-on-write image of) the Python index structures.
+            try:
+                self._method.seal_feature_index(self._ftv_index_path)
+            except CacheError:
+                # Methods without a sealable index (attached-only instances,
+                # FTV subclasses without seal support) serve from their
+                # in-process index as before.
+                self._ftv_index_path = None
         context = multiprocessing.get_context("fork")
         for worker in range(self._workers):
             owned = tuple(
@@ -318,6 +350,7 @@ class ProcessPoolCacheService:
                     self._config.shards,
                     self._matcher,
                     self._dataset_path,
+                    self._ftv_index_path,
                 ),
                 daemon=True,
             )
@@ -427,8 +460,18 @@ class ProcessPoolCacheService:
             "live_bytes": sum(s["live_bytes"] for s in per_shard.values()),
             "dead_bytes": sum(s["dead_bytes"] for s in per_shard.values()),
             "delta_segments": sum(s["delta_segments"] for s in per_shard.values()),
+            "compaction_events": [
+                event
+                for shard in sorted(per_shard)
+                for event in per_shard[shard].get("compaction_events", [])
+            ],
             "shards": {shard: per_shard[shard] for shard in sorted(per_shard)},
         }
+
+    @property
+    def feature_index_path(self) -> Optional[str]:
+        """Path of the pool's sealed ``*.ftv.arena`` feature index, if any."""
+        return self._ftv_index_path
 
     def arena_paths(self) -> List[Path]:
         """Sealed segment files of every shard (cache + window stores)."""

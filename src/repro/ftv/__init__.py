@@ -8,11 +8,15 @@ from .features import (
     cycle_features,
     extract_label_cycles,
     extract_label_paths,
+    label_rank_map,
+    packed_cycle_features,
+    packed_path_features,
     path_features,
 )
 from .fingerprints import Fingerprint, feature_bit
 from .ggsx import GraphGrepSX
 from .grapes import Grapes
+from .index_arena import FeatureIndexArena, dataset_content_hash
 from .supergraph import SupergraphFeatureIndex
 from .trie import PathTrie
 
@@ -24,11 +28,16 @@ __all__ = [
     "SupergraphFeatureIndex",
     "PathTrie",
     "Fingerprint",
+    "FeatureIndexArena",
     "feature_bit",
     "canonical_cycle_key",
     "canonical_path_key",
     "cycle_features",
+    "dataset_content_hash",
     "extract_label_cycles",
     "extract_label_paths",
+    "label_rank_map",
+    "packed_cycle_features",
+    "packed_path_features",
     "path_features",
 ]

@@ -12,15 +12,21 @@ from __future__ import annotations
 
 import abc
 import time
-from typing import Optional
+import warnings
+from pathlib import Path
+from typing import Dict, Optional, Union
 
+from ..exceptions import CacheError
 from ..graphs.dataset import GraphDataset
 from ..graphs.graph import Graph
 from ..isomorphism.base import SubgraphMatcher
 from ..isomorphism.vf2_plus import VF2PlusMatcher
 from ..methods.base import Method
+from .index_arena import FeatureIndexArena, dataset_content_hash
 
 __all__ = ["FTVMethod"]
+
+PathLike = Union[str, "Path"]
 
 
 class FTVMethod(Method):
@@ -29,6 +35,14 @@ class FTVMethod(Method):
     Subclasses implement :meth:`_index_graph` (producing the per-graph feature
     representation at build time) and :meth:`_filter` (producing the candidate
     set from the query's features at query time).
+
+    A built index can be compiled into a sealed, fork-shareable segment with
+    :meth:`seal_feature_index` and adopted in another process with
+    :meth:`attach_feature_index` — see
+    :class:`~repro.ftv.index_arena.FeatureIndexArena`.  Attaching validates
+    the recorded build parameters and dataset content hash; on any mismatch
+    it warns and leaves the method on its in-process index (the caller falls
+    back to :meth:`rebuild_index`).
     """
 
     def __init__(
@@ -36,6 +50,7 @@ class FTVMethod(Method):
         dataset: GraphDataset,
         matcher: Optional[SubgraphMatcher] = None,
     ) -> None:
+        self._findex: Optional[FeatureIndexArena] = None
         super().__init__(dataset, matcher or VF2PlusMatcher())
         started = time.perf_counter()
         self._build_index()
@@ -46,6 +61,67 @@ class FTVMethod(Method):
     def build_time_s(self) -> float:
         """Wall-clock time spent building the dataset index."""
         return self._build_time_s
+
+    @property
+    def feature_index(self) -> Optional[FeatureIndexArena]:
+        """The attached sealed index, when the method serves from one."""
+        return self._findex
+
+    # ------------------------------------------------------------------ #
+    # Sealed-index lifecycle
+    # ------------------------------------------------------------------ #
+    def _index_family(self) -> str:
+        """Feature family tag recorded in (and required of) a sealed index."""
+        raise CacheError(f"{type(self).__name__} does not support sealed feature indexes")
+
+    def _index_params(self) -> Dict[str, object]:
+        """Build parameters recorded in (and required of) a sealed index."""
+        raise CacheError(f"{type(self).__name__} does not support sealed feature indexes")
+
+    def seal_feature_index(self, path: PathLike) -> Path:
+        """Compile the built index into a sealed segment at ``path``."""
+        raise CacheError(f"{type(self).__name__} does not support sealed feature indexes")
+
+    def _adopt_index(self, arena: FeatureIndexArena) -> None:
+        """Subclass hook: switch filtering onto ``arena`` (drop built state)."""
+        raise CacheError(f"{type(self).__name__} does not support sealed feature indexes")
+
+    def attach_feature_index(self, path: PathLike) -> bool:
+        """Adopt the sealed index at ``path`` if it matches this method.
+
+        Returns ``False`` (with a warning, leaving the current index in
+        place) when the file is unreadable, was built with different
+        parameters, or is *stale* — its recorded dataset content hash no
+        longer matches this method's dataset (e.g. the dataset segment was
+        resealed after the index was built).
+        """
+        try:
+            arena = FeatureIndexArena.attach(path)
+        except (CacheError, OSError) as exc:
+            warnings.warn(f"feature index {path}: attach failed ({exc}); rebuilding")
+            return False
+        if arena.family != self._index_family() or arena.params != self._index_params():
+            warnings.warn(
+                f"feature index {path}: built for {arena.family}{arena.params}, "
+                f"need {self._index_family()}{self._index_params()}; rebuilding"
+            )
+            return False
+        if arena.dataset_hash != dataset_content_hash(self.dataset):
+            warnings.warn(
+                f"feature index {path}: stale (dataset content changed since "
+                "the index was sealed); rebuilding"
+            )
+            return False
+        self._findex = arena
+        self._adopt_index(arena)
+        return True
+
+    def rebuild_index(self) -> None:
+        """Rebuild the in-process index over the current dataset (re-timed)."""
+        self._findex = None
+        started = time.perf_counter()
+        self._build_index()
+        self._build_time_s = time.perf_counter() - started
 
     @abc.abstractmethod
     def _build_index(self) -> None:

@@ -16,14 +16,17 @@ size 6 and cycles up to size 8 in 4,096-bit fingerprints.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Dict, Optional
 
+from ..exceptions import CacheError
 from ..graphs.dataset import GraphDataset
 from ..graphs.graph import Graph
 from ..isomorphism.base import SubgraphMatcher
-from .base import FTVMethod
+from .base import FTVMethod, PathLike
 from .features import cycle_features, path_features
 from .fingerprints import Fingerprint
+from .index_arena import FeatureIndexArena, dataset_content_hash
 
 __all__ = ["CTIndex"]
 
@@ -90,15 +93,53 @@ class CTIndex(FTVMethod):
 
     def _filter(self, query: Graph) -> frozenset:
         query_fingerprint = self._graph_fingerprint(query)
+        if self._findex is not None:
+            return self._findex.fingerprint_filter(query_fingerprint.bits)
         return frozenset(
             graph_id
             for graph_id, fingerprint in self._fingerprints.items()
             if fingerprint.contains(query_fingerprint)
         )
 
+    # ------------------------------------------------------------------ #
+    def _index_family(self) -> str:
+        return "ctindex"
+
+    def _index_params(self) -> Dict[str, object]:
+        return {
+            "max_tree_size": self._max_tree_size,
+            "max_cycle_size": self._max_cycle_size,
+            "fingerprint_bits": self._fingerprint_bits,
+        }
+
+    def seal_feature_index(self, path: PathLike) -> Path:
+        """Compile the fingerprint map into a sealed ``*.ftv.arena`` segment."""
+        if not self._fingerprints:
+            raise CacheError("cannot seal a feature index that was not built here")
+        return FeatureIndexArena.seal(
+            path,
+            family=self._index_family(),
+            params=self._index_params(),
+            dataset_hash=dataset_content_hash(self.dataset),
+            fingerprints={
+                graph_id: fingerprint.bits
+                for graph_id, fingerprint in self._fingerprints.items()
+            },
+            fingerprint_bits=self._fingerprint_bits,
+        )
+
+    def _adopt_index(self, arena: FeatureIndexArena) -> None:
+        self._fingerprints = {}
+
     def index_size_bytes(self) -> int:
+        if self._findex is not None:
+            return self._findex.nbytes
         return sum(fp.size_bytes() for fp in self._fingerprints.values())
 
     def fingerprint_of(self, graph_id: int) -> Fingerprint:
         """Return the stored fingerprint of a dataset graph (for inspection)."""
+        if self._findex is not None and graph_id not in self._fingerprints:
+            return Fingerprint(
+                self._fingerprint_bits, bits=self._findex.fingerprint_row(graph_id)
+            )
         return self._fingerprints[graph_id]

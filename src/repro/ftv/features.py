@@ -16,20 +16,53 @@ GraphCache use three feature families:
 All extraction functions return a :class:`collections.Counter` keyed by a
 *canonical* feature key so that a path read in either direction (or a cycle
 read from any starting point / direction) maps to the same key.
+
+Two extraction routes produce Counter-identical results:
+
+* the **decoded route** (:func:`extract_label_paths` /
+  :func:`extract_label_cycles`) walks a fully materialised
+  :class:`~repro.graphs.graph.Graph` — the reference implementation the
+  property tests oracle against;
+* the **CSR-native route** (:func:`packed_path_features` /
+  :func:`packed_cycle_features`) walks a
+  :class:`~repro.graphs.packed.PackedGraph` record directly over its
+  ``indptr``/``indices`` slices.  Canonicalisation runs on small integers:
+  every per-graph label code is mapped once to its *rank* in the
+  sorted distinct ``str(label)`` universe of the record's label table
+  (:func:`label_rank_map`), so comparing rank tuples is order-equivalent to
+  comparing the string tuples the canonical keys are built from — equal
+  strings get equal ranks, smaller strings get smaller ranks — and the
+  chosen canonical sequence is decoded back through the table only at the
+  index boundary.  This is also the fix for the label canonicalisation
+  asymmetry: int-labelled and str-labelled datasets produce identical keys
+  through both routes because both reduce over ``str(label)`` order.
+
+The public :func:`path_features` / :func:`cycle_features` entry points
+dispatch on the input: packed records and
+:class:`~repro.graphs.packed.PackedGraphView` objects take the CSR-native
+route without materialising a ``Graph``; everything else takes the decoded
+route.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterable, List, Tuple
+from functools import lru_cache
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from ..graphs.graph import Graph
+from ..graphs.packed import PackedGraph, PackedGraphView
 
 __all__ = [
     "canonical_path_key",
     "canonical_cycle_key",
+    "label_rank_map",
     "extract_label_paths",
     "extract_label_cycles",
+    "packed_path_features",
+    "packed_cycle_features",
     "path_features",
     "cycle_features",
 ]
@@ -49,13 +82,35 @@ def canonical_cycle_key(labels: Iterable[object]) -> FeatureKey:
     ring = tuple(str(label) for label in labels)
     if not ring:
         return ("cycle",)
-    best: FeatureKey | None = None
+    return ("cycle",) + _minimal_rotation(ring)  # tag distinguishes cycles from paths
+
+
+def _minimal_rotation(ring: Tuple) -> Tuple:
+    """Lexicographically minimal rotation of ``ring`` over both directions."""
+    best = None
     for sequence in (ring, tuple(reversed(ring))):
         for shift in range(len(sequence)):
             rotation = sequence[shift:] + sequence[:shift]
             if best is None or rotation < best:
                 best = rotation
-    return ("cycle",) + best  # tag distinguishes cycles from paths of equal labels
+    return best
+
+
+@lru_cache(maxsize=4096)
+def label_rank_map(label_table: Tuple[object, ...]) -> Tuple[Tuple[int, ...], Tuple[str, ...]]:
+    """Per-table integer canonicalisation: ``(code -> rank, rank -> string)``.
+
+    The rank of a label code is the index of its ``str(label)`` in the sorted
+    distinct-string universe of the table, so rank comparison is
+    order-equivalent to string comparison (labels whose strings collide —
+    e.g. ``1`` and ``"1"`` — share a rank, exactly as they share a canonical
+    key).  Memoised on the table tuple: dataset records repeat a handful of
+    distinct label tables across millions of graphs.
+    """
+    strings = [str(label) for label in label_table]
+    ordered = tuple(sorted(set(strings)))
+    rank_of = {s: rank for rank, s in enumerate(ordered)}
+    return tuple(rank_of[s] for s in strings), ordered
 
 
 def extract_label_paths(graph: Graph, max_length: int) -> Counter:
@@ -126,13 +181,7 @@ def extract_label_cycles(graph: Graph, max_size: int) -> Counter:
                     # Found a cycle; canonicalise its vertex ring (minimal
                     # rotation over both directions) so each simple cycle is
                     # counted exactly once.
-                    ring = tuple(path)
-                    best = None
-                    for sequence in (ring, tuple(reversed(ring))):
-                        for shift in range(len(sequence)):
-                            rotation = sequence[shift:] + sequence[:shift]
-                            if best is None or rotation < best:
-                                best = rotation
+                    best = _minimal_rotation(tuple(path))
                     if best in seen_cycles:
                         continue
                     seen_cycles.add(best)
@@ -148,11 +197,169 @@ def extract_label_cycles(graph: Graph, max_size: int) -> Counter:
     return counts
 
 
+# --------------------------------------------------------------------------- #
+# CSR-native extraction over packed records
+# --------------------------------------------------------------------------- #
+def packed_path_features(packed: PackedGraph, max_length: int) -> Counter:
+    """CSR-native :func:`extract_label_paths` over a packed record.
+
+    Level-synchronous frontier expansion instead of a per-path DFS: level
+    ``L`` holds every directed simple path of ``L`` edges as parallel numpy
+    arrays — its end vertex, its visited-vertex set, and two integer *path
+    codes* (the base-``W`` digit strings of the forward and reversed label
+    ranks, ``W`` = rank universe size, see :func:`label_rank_map`).  One
+    CSR gather extends all paths at once, one elementwise minimum picks
+    each path's canonical code (integer comparison of equal-length base-W
+    numbers is exactly the lexicographic comparison the decoded extractor
+    does on string tuples), and one ``np.unique`` counts the level.  Every
+    undirected path appears twice (once per direction), so the unique
+    counts are halved; the surviving canonical codes — a far smaller set
+    than the paths — are decoded to string keys only when the Counter is
+    filled.  Visited sets are single ``uint64`` bitsets when the graph has
+    at most 64 vertices (the common case for molecule records), otherwise
+    a per-level column comparison against the stored path matrix.
+    Counter-identical to the decoded extractor on the same graph.
+    """
+    counts: Counter = Counter()
+    if max_length < 0:
+        return counts
+    n = packed.order
+    if n == 0:
+        return counts
+    code_ranks, strings = label_rank_map(packed.label_table)
+    rank_arr = np.asarray(code_ranks, dtype=np.int64)[packed.label_codes]
+
+    # 0-edge paths (single vertices): one vectorised histogram over ranks.
+    occupancy = np.bincount(rank_arr, minlength=len(strings))
+    for rank in np.nonzero(occupancy)[0].tolist():
+        counts[(strings[rank],)] = int(occupancy[rank])
+    if max_length == 0 or not len(packed.indices):
+        return counts
+
+    indptr = packed.indptr.astype(np.int64)
+    indices = packed.indices.astype(np.int64)
+    width = len(strings)
+    powers = [width**i for i in range(max_length + 1)]
+    small = n <= 64
+
+    last = np.arange(n, dtype=np.int64)
+    forward = rank_arr.copy()
+    backward = rank_arr.copy()
+    if small:
+        bit_table = np.uint64(1) << np.arange(n, dtype=np.uint64)
+        visited = bit_table.copy()
+        paths: Optional[np.ndarray] = None
+    else:
+        bit_table = None
+        visited = None
+        paths = last.reshape(n, 1)
+    for edges in range(1, max_length + 1):
+        starts = indptr[last]
+        degrees = indptr[last + 1] - starts
+        total = int(degrees.sum())
+        if not total:
+            break
+        parent = np.repeat(np.arange(len(last), dtype=np.int64), degrees)
+        neighbour = indices[
+            np.repeat(starts - (np.cumsum(degrees) - degrees), degrees)
+            + np.arange(total, dtype=np.int64)
+        ]
+        if small:
+            keep = (visited[parent] & bit_table[neighbour]) == 0
+        else:
+            keep = np.ones(total, dtype=bool)
+            for column in range(paths.shape[1]):
+                keep &= neighbour != paths[parent, column]
+        parent = parent[keep]
+        neighbour = neighbour[keep]
+        if not len(parent):
+            break
+        step_rank = rank_arr[neighbour]
+        forward = forward[parent] * width + step_rank
+        backward = backward[parent] + step_rank * powers[edges]
+        if small:
+            visited = visited[parent] | bit_table[neighbour]
+        else:
+            paths = np.concatenate([paths[parent], neighbour[:, None]], axis=1)
+        last = neighbour
+        uniques, pair_counts = np.unique(
+            np.minimum(forward, backward), return_counts=True
+        )
+        length = edges + 1
+        halved = pair_counts // 2  # each undirected path found once per direction
+        digits = np.empty((len(uniques), length), dtype=np.int64)
+        codes = uniques.copy()
+        for position in range(length - 1, -1, -1):
+            digits[:, position] = codes % width
+            codes //= width
+        for row, value in zip(digits.tolist(), halved.tolist(), strict=True):
+            counts[tuple(strings[digit] for digit in row)] += value
+    return counts
+
+
+def packed_cycle_features(packed: PackedGraph, max_size: int) -> Counter:
+    """CSR-native :func:`extract_label_cycles` over a packed record.
+
+    Same min-vertex discovery and vertex-ring dedup as the decoded
+    extractor; the label ring is canonicalised as a rank tuple and decoded
+    to strings at the boundary.
+    """
+    counts: Counter = Counter()
+    if max_size < 3 or packed.order == 0:
+        return counts
+    code_ranks, strings = label_rank_map(packed.label_table)
+    codes = packed.label_codes.tolist()
+    vertex_rank = [code_ranks[code] for code in codes]
+    ptr = packed.indptr.tolist()
+    idx = packed.indices.tolist()
+    rows = [idx[ptr[v] : ptr[v + 1]] for v in range(len(codes))]
+    seen_cycles: set = set()
+    for start in range(len(codes)):
+        stack: List[Tuple[int, List[int]]] = [(start, [start])]
+        while stack:
+            current, path = stack.pop()
+            for neighbour in rows[current]:
+                if neighbour == start and len(path) >= 3:
+                    best = _minimal_rotation(tuple(path))
+                    if best in seen_cycles:
+                        continue
+                    seen_cycles.add(best)
+                    ring = _minimal_rotation(tuple(vertex_rank[v] for v in path))
+                    counts[("cycle",) + tuple(strings[r] for r in ring)] += 1
+                elif (
+                    neighbour not in path
+                    and len(path) < max_size
+                    and neighbour > start
+                ):
+                    stack.append((neighbour, path + [neighbour]))
+    return counts
+
+
+def _packed_source(graph: Graph) -> Optional[PackedGraph]:
+    """The CSR record behind ``graph``, when extraction can skip decoding."""
+    if isinstance(graph, PackedGraphView):
+        return graph.packed
+    if isinstance(graph, PackedGraph):
+        return graph
+    return None
+
+
 def path_features(graph: Graph, max_length: int) -> Counter:
-    """Public alias for :func:`extract_label_paths` (GGSX / Grapes features)."""
+    """Bounded label-path features (GGSX / Grapes / CT-Index tree features).
+
+    Dispatches on the input representation: packed records and
+    :class:`PackedGraphView` objects are walked CSR-natively (no ``Graph``
+    is constructed); plain graphs take the decoded reference extractor.
+    """
+    packed = _packed_source(graph)
+    if packed is not None:
+        return packed_path_features(packed, max_length)
     return extract_label_paths(graph, max_length)
 
 
 def cycle_features(graph: Graph, max_size: int) -> Counter:
-    """Public alias for :func:`extract_label_cycles` (CT-Index cycle features)."""
+    """Bounded label-cycle features (CT-Index), same dispatch as paths."""
+    packed = _packed_source(graph)
+    if packed is not None:
+        return packed_cycle_features(packed, max_size)
     return extract_label_cycles(graph, max_size)

@@ -12,14 +12,17 @@ also the default here.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Optional
+from pathlib import Path
+from typing import Dict, Optional
 
+from ..exceptions import CacheError
 from ..graphs.dataset import GraphDataset
 from ..graphs.graph import Graph
 from ..isomorphism.base import SubgraphMatcher
 from ..isomorphism.vf2 import VF2Matcher
-from .base import FTVMethod
+from .base import FTVMethod, PathLike
 from .features import path_features
+from .index_arena import FeatureIndexArena, dataset_content_hash
 from .trie import PathTrie
 
 __all__ = ["GraphGrepSX"]
@@ -68,9 +71,36 @@ class GraphGrepSX(FTVMethod):
         return path_features(query, self._max_path_length)
 
     def _filter(self, query: Graph) -> frozenset:
+        features = self._query_features(query)
+        if self._findex is not None:
+            return self._findex.filter_counted(features)
         assert self._trie is not None, "index not built"
-        return self._trie.filter(self._query_features(query))
+        return self._trie.filter(features)
+
+    # ------------------------------------------------------------------ #
+    def _index_family(self) -> str:
+        return "paths"
+
+    def _index_params(self) -> Dict[str, object]:
+        return {"max_path_length": self._max_path_length}
+
+    def seal_feature_index(self, path: PathLike) -> Path:
+        """Compile the built path trie into a sealed ``*.ftv.arena`` segment."""
+        if self._trie is None:
+            raise CacheError("cannot seal a feature index that was not built here")
+        return FeatureIndexArena.seal(
+            path,
+            family=self._index_family(),
+            params=self._index_params(),
+            dataset_hash=dataset_content_hash(self.dataset),
+            postings=self._trie.iter_features(),
+        )
+
+    def _adopt_index(self, arena: FeatureIndexArena) -> None:
+        self._trie = None
 
     def index_size_bytes(self) -> int:
+        if self._findex is not None:
+            return self._findex.nbytes
         assert self._trie is not None, "index not built"
         return self._trie.approximate_size_bytes()

@@ -24,14 +24,17 @@ Reproduction notes
 from __future__ import annotations
 
 from collections import Counter
+from pathlib import Path
 from typing import Dict, FrozenSet, Optional
 
+from ..exceptions import CacheError
 from ..graphs.dataset import GraphDataset
 from ..graphs.graph import Graph
 from ..isomorphism.base import SubgraphMatcher
 from ..isomorphism.vf2 import VF2Matcher
-from .base import FTVMethod
+from .base import FTVMethod, PathLike
 from .features import canonical_path_key, path_features
+from .index_arena import FeatureIndexArena, dataset_content_hash
 from .trie import PathTrie
 
 __all__ = ["Grapes"]
@@ -105,8 +108,41 @@ class Grapes(FTVMethod):
         return path_features(query, self._max_path_length)
 
     def _filter(self, query: Graph) -> frozenset:
+        features = self._query_features(query)
+        if self._findex is not None:
+            return self._findex.filter_counted(features)
         assert self._trie is not None, "index not built"
-        return self._trie.filter(self._query_features(query))
+        return self._trie.filter(features)
+
+    # ------------------------------------------------------------------ #
+    def _index_family(self) -> str:
+        return "paths"
+
+    def _index_params(self) -> Dict[str, object]:
+        # Same family and parameters as GraphGrepSX: the sealed postings are
+        # the flattened counted trie both methods filter with, so one sealed
+        # segment serves either method at equal max_path_length.
+        return {"max_path_length": self._max_path_length}
+
+    def seal_feature_index(self, path: PathLike) -> Path:
+        """Compile the built path trie into a sealed ``*.ftv.arena`` segment."""
+        if self._trie is None:
+            raise CacheError("cannot seal a feature index that was not built here")
+        return FeatureIndexArena.seal(
+            path,
+            family=self._index_family(),
+            params=self._index_params(),
+            dataset_hash=dataset_content_hash(self.dataset),
+            postings=self._trie.iter_features(),
+        )
+
+    def _adopt_index(self, arena: FeatureIndexArena) -> None:
+        # Location hints are not part of the sealed postings; refill lazily,
+        # per dataset graph, on first candidate_regions() call — the packed
+        # dataset's views answer label() CSR-natively, so this stays cheap
+        # and touches only the graphs a caller actually inspects.
+        self._trie = None
+        self._locations = {}
 
     # ------------------------------------------------------------------ #
     def candidate_regions(self, query: Graph, graph_id: int) -> FrozenSet[int]:
@@ -116,7 +152,13 @@ class Grapes(FTVMethod):
         vertex labels of the dataset-graph vertices carrying those labels.
         An empty result proves the graph cannot contain the query.
         """
-        graph_locations = self._locations.get(graph_id, {})
+        graph_locations = self._locations.get(graph_id)
+        if graph_locations is None:
+            if self._findex is None or graph_id not in self.dataset.graph_ids:
+                graph_locations = {}
+            else:
+                graph_locations = self._single_vertex_locations(self.dataset[graph_id])
+                self._locations[graph_id] = graph_locations
         region: set = set()
         for label in query.distinct_labels():
             key = canonical_path_key([label])
@@ -124,9 +166,11 @@ class Grapes(FTVMethod):
         return frozenset(region)
 
     def index_size_bytes(self) -> int:
-        assert self._trie is not None, "index not built"
         location_bytes = sum(
             16 * sum(len(vertices) for vertices in per_graph.values())
             for per_graph in self._locations.values()
         )
+        if self._findex is not None:
+            return self._findex.nbytes + location_bytes
+        assert self._trie is not None, "index not built"
         return self._trie.approximate_size_bytes() + location_bytes

@@ -27,9 +27,20 @@ from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 from ..analysis.runtime import make_lock
 from ..exceptions import GraphError
 
-__all__ = ["Graph", "intern_label"]
+__all__ = ["Graph", "graph_constructions", "intern_label"]
 
 Edge = Tuple[int, int]
+
+#: Process-wide count of fully materialised ``Graph`` objects (constructor
+#: and CSR decode paths alike; packed views are *not* counted — they defer
+#: materialisation).  Tests pin "decode-free" claims as a zero delta of this
+#: counter across the section under test.
+_CONSTRUCTIONS = 0
+
+
+def graph_constructions() -> int:
+    """Number of ``Graph`` objects materialised in this process so far."""
+    return _CONSTRUCTIONS
 
 #: Process-wide label intern table.  Labels may be arbitrary hashable values;
 #: interning maps each distinct label to a small integer id shared by *all*
@@ -129,6 +140,8 @@ class Graph:
         edges: Iterable[Tuple[int, int]] = (),
         graph_id: object | None = None,
     ) -> None:
+        global _CONSTRUCTIONS
+        _CONSTRUCTIONS += 1
         self._labels: Tuple[object, ...] = tuple(labels)
         n = len(self._labels)
         adjacency: List[set] = [set() for _ in range(n)]
@@ -561,6 +574,8 @@ class Graph:
         mask constructor can reuse it above the scalar cutoff instead of
         round-tripping the lists through ``np.asarray``.
         """
+        global _CONSTRUCTIONS
+        _CONSTRUCTIONS += 1
         self = cls.__new__(cls)
         self._labels = tuple([table[code] for code in codes])
         n = len(codes)

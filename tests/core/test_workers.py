@@ -211,7 +211,8 @@ class TestPackedMatch:
             pool.run(_workload(count=4))
             stats = pool.arena_statistics()
             assert set(stats) == {
-                "live_bytes", "dead_bytes", "delta_segments", "shards",
+                "live_bytes", "dead_bytes", "delta_segments",
+                "compaction_events", "shards",
             }
             assert set(stats["shards"]) == set(range(pool.shard_count))
             for shard_stats in stats["shards"].values():

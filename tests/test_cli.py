@@ -180,3 +180,50 @@ class TestMaintenanceJournalRobustness:
         assert main(["maintenance", "--journal", str(journal_path)]) == 2
         err = capsys.readouterr().err
         assert "line 2" in err and "journal record" in err
+
+
+class TestCompactionOutput:
+    def test_compaction_threshold_flag_parses(self):
+        args = build_parser().parse_args(
+            ["batch", "aids", "--compaction-threshold", "0.25"]
+        )
+        assert args.compaction_threshold == 0.25
+        assert build_parser().parse_args(["batch", "aids"]).compaction_threshold is None
+
+    def test_maintenance_surfaces_compaction_events(self, capsys, tmp_path):
+        code = main([
+            "maintenance", "aids", "--scale", "0.05", "--queries", "60",
+            "--cache-size", "10", "--window-size", "5",
+            "--backend", "mmap", "--backend-path", str(tmp_path / "m.db"),
+            "--compaction-threshold", "0.001",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        # Per-segment occupancy and the fold report ride together.
+        assert "arena cache_entries:" in output
+        assert "compaction:" in output and "fold(s)" in output
+        assert "trigger_ratio=" in output
+        assert "bytes_reclaimed=" in output
+        assert "segments_folded=" in output
+
+    def test_batch_multiprocess_surfaces_compaction_events(self, capsys, tmp_path):
+        code = main([
+            "batch", "aids", "--scale", "0.05", "--queries", "60",
+            "--cache-size", "10", "--window-size", "5", "--workers", "2",
+            "--backend", "mmap", "--backend-path", str(tmp_path / "b.db"),
+            "--compaction-threshold", "0.001",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "arena: live_bytes=" in output
+        assert "compaction:" in output
+        assert "trigger_ratio=" in output
+
+    def test_no_threshold_prints_no_compaction_lines(self, capsys, tmp_path):
+        code = main([
+            "maintenance", "aids", "--scale", "0.05", "--queries", "40",
+            "--cache-size", "10", "--window-size", "5",
+            "--backend", "mmap", "--backend-path", str(tmp_path / "m.db"),
+        ])
+        assert code == 0
+        assert "compaction:" not in capsys.readouterr().out
