@@ -33,6 +33,8 @@ name                    rank  guards
 ``backend``               40  one storage backend's record container / connection
 ``journal``               45  plan-journal append (count + write-through)
 ``scheduler.state``       46  scheduler reports/counters
+``replication.state``     47  replica-set ship/apply counters (journal subscribers)
+``replication.reader``    48  replica-set read fan-out (round-robin cursor)
 ``index.readers``         50  published-buffer pointer + per-buffer reader counts
 ``pipeline.filter_pool``  60  lazy Mfilter thread-pool creation vs. close
 ``serial``                61  the cache's serial counter
@@ -61,6 +63,8 @@ LOCK_RANKS: Dict[str, int] = {
     "backend": 40,
     "journal": 45,
     "scheduler.state": 46,
+    "replication.state": 47,
+    "replication.reader": 48,
     "index.readers": 50,
     "pipeline.filter_pool": 60,
     "serial": 61,

@@ -32,6 +32,13 @@ REPRO007  mutation of a ``PackedGraph`` (bound by a ``PackedGraph``
           mutator call.  Packed graphs may alias a read-only arena mmap
           shared across processes, so *any* write is a violation (the
           arena-backed twin of REPRO004).
+REPRO008  cache mutation reachable from a replica apply path (an ``apply*``
+          method on a ``*Replica*`` class) outside the sanctioned delta
+          machinery.  A replica must change state only by replaying frames
+          through ``GraphCache.replay_plan`` /
+          ``MaintenanceEngine.replay``/``apply`` — any other route to the
+          stores, the GCindex, the heap or the statistics diverges it from
+          the primary.
 ========  ==================================================================
 
 Resolution is best-effort and *sound-where-it-claims*: a call that cannot
@@ -74,6 +81,16 @@ TRACKED_MUTATORS: Dict[str, Set[str]] = {
     "InMemoryBackend": {"put", "delete", "clear", "replace_all", "close"},
     "SQLiteBackend": {"put", "delete", "clear", "replace_all", "close"},
     "MmapBackend": {"put", "delete", "clear", "replace_all", "seal", "close"},
+}
+
+#: The sanctioned replica delta path (REPRO008): the only methods through
+#: which a replica apply path may reach tracked shared state.  The traversal
+#: does not descend into them — everything they mutate is, by construction,
+#: exactly what the primary's round mutated.
+REPLICA_DELTA_PATH: Set[Tuple[str, str]] = {
+    ("GraphCache", "replay_plan"),
+    ("MaintenanceEngine", "replay"),
+    ("MaintenanceEngine", "apply"),
 }
 
 #: Mutating surface of a pinned IndexView (REPRO004): a snapshot is
@@ -548,6 +565,63 @@ def _rule_decide_purity(prog: Program, findings: List[Finding]) -> None:
                         )
 
 
+def _rule_replica_delta_path(prog: Program, findings: List[Finding]) -> None:
+    """REPRO008: replica apply paths must mutate only via the delta path.
+
+    Entry points are ``apply*`` methods on classes whose name contains
+    ``Replica``.  The traversal mirrors REPRO003's reachability walk but
+    refuses to descend into :data:`REPLICA_DELTA_PATH` — replaying a frame
+    through the sanctioned machinery is the *point*; any other reachable
+    mutation of tracked shared state diverges the replica from the primary.
+    """
+    for func in list(prog.funcs.values()):
+        if func.cls is None or "Replica" not in func.cls.name:
+            continue
+        if not func.fn.name.startswith("apply"):
+            continue
+        visited: Set[Tuple[str, str]] = set()
+        frontier: List[Tuple[_Func, List[str]]] = [(func, [func.fn.qualname])]
+        while frontier:
+            current, trail = frontier.pop()
+            if current.key in visited:
+                continue
+            visited.add(current.key)
+            for call in current.fn.calls:
+                types = prog.receiver_types(current, call.recv)
+                for type_name in sorted(types):
+                    mutators = TRACKED_MUTATORS.get(type_name)
+                    if mutators and call.method in mutators:
+                        findings.append(
+                            Finding(
+                                rule="REPRO008",
+                                path=str(current.module.path),
+                                line=call.line,
+                                symbol=(
+                                    f"{func.fn.qualname}:"
+                                    f"{type_name}.{call.method}"
+                                ),
+                                message=(
+                                    f"replica apply path mutates cache state "
+                                    f"outside the delta path: "
+                                    f"{' -> '.join(trail)} calls "
+                                    f"{type_name}.{call.method}() "
+                                    f"(replicas may only replay frames via "
+                                    f"GraphCache.replay_plan / "
+                                    f"MaintenanceEngine.replay)"
+                                ),
+                            )
+                        )
+                for callee in prog.resolve_call(current, call):
+                    if callee.cls is not None and (
+                        (callee.cls.name, callee.fn.name) in REPLICA_DELTA_PATH
+                    ):
+                        continue  # the sanctioned delta machinery
+                    if callee.key not in visited:
+                        frontier.append(
+                            (callee, trail + [callee.fn.qualname])
+                        )
+
+
 def _rule_view_immutability(prog: Program, findings: List[Finding]) -> None:
     """REPRO004: mutating a pinned IndexView snapshot."""
     for func in prog.funcs.values():
@@ -697,6 +771,7 @@ def run_rules(modules: Iterable[ModuleModel]) -> List[Finding]:
     _rule_locks(prog, findings)
     _rule_blocking(prog, findings)
     _rule_decide_purity(prog, findings)
+    _rule_replica_delta_path(prog, findings)
     _rule_view_immutability(prog, findings)
     _rule_packed_immutability(prog, findings)
     _rule_shim_imports(prog, findings)

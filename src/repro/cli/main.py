@@ -44,10 +44,12 @@ from ..exceptions import CacheError
 from ..core.pipeline import STAGE_NAMES
 from ..core.policies import (
     SCHEDULER_MODES,
+    MaintenancePlan,
     PlanJournal,
     available_admission_controllers,
     available_policies,
 )
+from ..core.replication import ReplicaSet
 from ..core.service import GraphCacheService
 from ..core.sharding import build_cache
 from ..core.workers import ProcessPoolCacheService
@@ -150,12 +152,23 @@ def build_parser() -> argparse.ArgumentParser:
     maintenance.add_argument("--serials", action="store_true",
                              help="also print per-round admitted/evicted "
                                   "serials and victim utilities")
+    maintenance.add_argument("--tail", type=int, default=None, metavar="N",
+                             help="with --journal: show only the last N rounds")
+    maintenance.add_argument("--since-round", type=int, default=None,
+                             metavar="R",
+                             help="with --journal: show only rounds >= R "
+                                  "(e.g. past a checkpoint's watermark)")
+    maintenance.add_argument("--replicas", type=int, default=0,
+                             help="feed N journal-driven read replicas during "
+                                  "the run and print their replication-lag "
+                                  "metrics (rounds behind, bytes shipped, "
+                                  "apply time)")
 
     # analyze -------------------------------------------------------------------- #
     analyze = subparsers.add_parser(
         "analyze",
         help="run the static lock-discipline & plan-purity analyzer "
-             "(rules REPRO001-REPRO006) over the repro package",
+             "(rules REPRO001-REPRO008) over the repro package",
     )
     analyze.add_argument("paths", nargs="*", type=Path,
                          help="files or directories to scan "
@@ -230,6 +243,10 @@ def _add_experiment_arguments(
                         help="append every applied maintenance plan to this "
                              "file (one JSON line per round; sharded caches "
                              "write one file per shard)")
+    parser.add_argument("--journal-fsync", action="store_true",
+                        help="flush and fsync every journal append before the "
+                             "round returns (the crash-recovery durability "
+                             "mode; default: rely on the OS page cache)")
     parser.add_argument("--compaction-threshold", type=float, default=None,
                         help="automatic mmap-arena compaction: after each "
                              "delta publish, fold any backend whose "
@@ -326,6 +343,7 @@ def _experiment_config(
         maintenance_mode=args.maintenance_mode,
         packed_match=args.packed_match,
         journal_path=None if args.journal_path is None else str(args.journal_path),
+        journal_fsync=args.journal_fsync,
         compaction_threshold=args.compaction_threshold,
     )
 
@@ -498,11 +516,17 @@ def _command_policies(args: argparse.Namespace) -> int:
     return 0
 
 
-def _plan_rows(plans, with_serials: bool):
-    """Table rows (and optional serial-detail lines) for a plan stream."""
+def _plan_rows(plans, with_serials: bool, rounds=None):
+    """Table rows (and optional serial-detail lines) for a plan stream.
+
+    ``rounds`` supplies the journal's real round numbers (a filtered or
+    compacted stream does not start at 1); omitted, rounds are enumerated.
+    """
     rows = []
     details = []
-    for round_no, plan in enumerate(plans, start=1):
+    if rounds is None:
+        rounds = range(1, len(plans) + 1)
+    for round_no, plan in zip(rounds, plans, strict=True):
         threshold = plan.admission_threshold
         rows.append(
             {
@@ -550,7 +574,9 @@ def _command_analyze(args: argparse.Namespace) -> int:
 def _command_maintenance(args: argparse.Namespace) -> int:
     if args.journal is not None:
         try:
-            plans = PlanJournal.load(args.journal)
+            records = PlanJournal.read_records(
+                args.journal, since_round=args.since_round, tail=args.tail
+            )
         except FileNotFoundError:
             print(
                 f"graphcache maintenance: journal file not found: {args.journal}",
@@ -567,7 +593,10 @@ def _command_maintenance(args: argparse.Namespace) -> int:
         except CacheError as exc:
             print(f"graphcache maintenance: {exc}", file=sys.stderr)
             return 2
-        rows, details = _plan_rows(plans, args.serials)
+        plans = [MaintenancePlan.from_record(record) for record in records]
+        rows, details = _plan_rows(
+            plans, args.serials, rounds=[record["round"] for record in records]
+        )
         if not rows:
             print(f"{args.journal}: empty journal (no rounds applied)")
             return 0
@@ -587,6 +616,11 @@ def _command_maintenance(args: argparse.Namespace) -> int:
     method, workload = _build_experiment(args)
     config = _experiment_config(args)
     service = GraphCacheService.for_method(method, config)
+    replica_set = (
+        ReplicaSet(service.cache, replicas=args.replicas)
+        if args.replicas > 0
+        else None
+    )
     queries = list(workload)
     if config.compaction_threshold is not None:
         # Publish the arena tails mid-run: dead bytes only accrue when
@@ -610,6 +644,8 @@ def _command_maintenance(args: argparse.Namespace) -> int:
         row["row_ops"] = report.backend_row_ops
     if not rows:
         print("no maintenance rounds ran (window never filled)")
+        if replica_set is not None:
+            replica_set.close()
         service.close()
         return 0
     print(format_table(rows))
@@ -617,6 +653,11 @@ def _command_maintenance(args: argparse.Namespace) -> int:
         print(line)
     runtime = service.cache.runtime_statistics
     print(f"decode_avoided: {runtime.decode_avoided}")
+    if replica_set is not None:
+        replica_set.sync()
+        for line in _replication_lines(replica_set.replication_statistics()):
+            print(line)
+        replica_set.close()
     cache = service.cache
     if config.compaction_threshold is not None:
         # Publish the arena tails so churn from the run above can trigger
@@ -629,6 +670,25 @@ def _command_maintenance(args: argparse.Namespace) -> int:
         print(line)
     service.close()
     return 0
+
+
+def _replication_lines(stats) -> list:
+    """Render per-replica replication-lag metrics as report lines."""
+    if not stats:
+        return []
+    lines = [f"replication: {len(stats)} replica(s), mode={stats[0]['mode']}"]
+    for entry in stats:
+        lines.append(
+            "  {}: rounds_applied={} rounds_behind={} bytes_shipped={} "
+            "apply_ms={:.3f}".format(
+                entry["replica"],
+                entry["rounds_applied"],
+                entry["rounds_behind"],
+                entry["bytes_shipped"],
+                entry["apply_time_s"] * 1000.0,
+            )
+        )
+    return lines
 
 
 def _cache_arena_lines(cache) -> list:

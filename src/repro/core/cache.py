@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..analysis.runtime import make_lock, make_rlock
 from ..exceptions import CacheError
@@ -40,6 +40,7 @@ from ..isomorphism.base import SubgraphMatcher
 from ..isomorphism.cost import estimate_subiso_cost
 from ..isomorphism.registry import matcher_by_name
 from ..methods.base import Method
+from ..methods.executor import verify_candidates
 from .backends import StorageBackend, create_backend
 from .config import GraphCacheConfig
 from .pipeline import (
@@ -53,6 +54,7 @@ from .pipeline import (
 )
 from .policies import (
     MaintenanceEngine,
+    MaintenancePlan,
     MaintenanceScheduler,
     PlanJournal,
     WindowManager,
@@ -173,6 +175,12 @@ class CacheRuntimeStatistics:
     decode_avoided: int = 0
     total_query_time_s: float = 0.0
     total_maintenance_time_s: float = 0.0
+    # Replication/recovery accounting: journal frames applied through
+    # replay_plan() (replica followers and crash recovery), the shipped
+    # bytes they carried, and the wall-clock spent applying them.
+    replay_rounds: int = 0
+    replay_bytes: int = 0
+    replay_apply_time_s: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
         """Return the counters as a plain dictionary (for reports)."""
@@ -188,6 +196,9 @@ class CacheRuntimeStatistics:
             "decode_avoided": self.decode_avoided,
             "total_query_time_s": self.total_query_time_s,
             "total_maintenance_time_s": self.total_maintenance_time_s,
+            "replay_rounds": self.replay_rounds,
+            "replay_bytes": self.replay_bytes,
+            "replay_apply_time_s": self.replay_apply_time_s,
         }
 
 
@@ -299,7 +310,9 @@ class GraphCache:
             self._config.maintenance_mode,
             engine=self._engine,
             gc_lock=self._gc_lock,
-            journal=PlanJournal(self._config.journal_path),
+            journal=PlanJournal(
+                self._config.journal_path, fsync=self._config.journal_fsync
+            ),
         )
         self._window_manager = WindowManager(
             cache_store=self._cache_store,
@@ -451,6 +464,16 @@ class GraphCache:
     def cached_entry(self, serial: int) -> CacheEntry:
         """Return a cached entry by serial number."""
         return self._cache_store.get(serial)
+
+    def window_entries(self) -> List[WindowEntry]:
+        """The current window contents (copies, in arrival order)."""
+        return self._window_store.entries()
+
+    @property
+    def query_index(self) -> QueryGraphIndex:
+        """The GCindex (exposed for inspection; its ``version`` is the
+        publication counter the replica-identity checks compare)."""
+        return self._index
 
     def __len__(self) -> int:
         return len(self._cache_store)
@@ -675,6 +698,89 @@ class GraphCache:
                 with self._serial_lock:
                     self._serial = max([next_serial] + restored_serials)
                 return
+
+    # ------------------------------------------------------------------ #
+    # Replication / recovery: the replay side of the plan journal.
+    # ------------------------------------------------------------------ #
+    def replay_plan(
+        self,
+        plan: MaintenancePlan,
+        admitted_entries: Sequence[WindowEntry],
+        hits: Sequence[Tuple[int, int, float, float, bool]] = (),
+        frame_bytes: int = 0,
+    ) -> None:
+        """Apply one journaled maintenance frame (replica/recovery path).
+
+        The frame goes through
+        :meth:`~repro.core.policies.engine.MaintenanceEngine.replay` — the
+        sanctioned delta machinery (analyzer rule REPRO008) — under the GC
+        lock, then the window store is scrubbed of the serials the round
+        consumed and the serial counter advances past every serial the
+        frame mentions, so a recovered cache resumes numbering exactly
+        where the primary's round left it.  The scheduler and the journal
+        are bypassed: a replayed round is never re-journaled.
+        """
+        started = time.perf_counter()
+        with self._gc_lock:
+            self._engine.replay(
+                plan, admitted_entries, hits=hits, lock=self._gc_lock
+            )
+            consumed = set(plan.window_serials)
+            if consumed:
+                survivors = [
+                    entry
+                    for entry in self._window_store.drain()
+                    if entry.serial not in consumed
+                ]
+                for entry in survivors:
+                    self._window_store.add(entry)
+            with self._serial_lock:
+                self._serial = max(
+                    [self._serial, plan.current_serial, *plan.window_serials]
+                )
+            self._runtime.replay_rounds += 1
+            self._runtime.replay_bytes += frame_bytes
+            self._runtime.replay_apply_time_s += time.perf_counter() - started
+
+    def lookup(self, query: Graph) -> FrozenSet[int]:
+        """Answer a query read-only: no serial, no window, no statistics.
+
+        The replica serving path: Mfilter → GC processors → pruner →
+        verification of the surviving candidates, returning exactly the
+        answer set :meth:`query` would return — but without committing the
+        query to the window or mutating any cache state, so N replicas can
+        serve lookups while the primary alone owns admission.
+        """
+        candidates = frozenset(self._method.candidates(query))
+        with self._gc_lock:
+            outcome = self._processors.process(query)
+            pruning = self._pruner.prune(candidates, outcome)
+        verified: FrozenSet[int] = frozenset()
+        if pruning.final_candidates:
+            verified, _, _, _, _ = verify_candidates(
+                self._method,
+                query,
+                pruning.final_candidates,
+                query_mode=self._config.query_mode,
+            )
+        return frozenset(verified | pruning.direct_answers)
+
+    @classmethod
+    def recover(
+        cls,
+        snapshot: str,
+        method: Method,
+        journal: Optional[str] = None,
+    ) -> "GraphCache":
+        """Load a checkpoint and replay the journal rounds past its watermark.
+
+        Convenience front end of
+        :func:`repro.core.persistence.recover_cache` (which also handles
+        sharded snapshots); see there for the recovery contract.
+        """
+        from .persistence import recover_cache
+
+        return recover_cache(snapshot, method, journal=journal)
 
     def close(self) -> None:
         """Release pipeline and data-layer resources (thread pool, backends).

@@ -120,6 +120,13 @@ class GraphCacheConfig:
         :class:`~repro.core.policies.plan.MaintenancePlan`).  ``None`` keeps
         the journal in memory only.  Sharded caches derive one file per
         shard from this path, like ``backend_path``.
+    journal_fsync:
+        When ``True``, every journal append is flushed and fsync'd before
+        the round returns, so a checkpoint can never be durably ahead of
+        its own journal — the invariant crash recovery
+        (:func:`~repro.core.persistence.recover_cache`) relies on.  Default
+        off: the journal is still append-mode-per-record (a crash loses at
+        most the line being written), but the OS may buffer it.
     compaction_threshold:
         Automatic arena compaction trigger for the mmap backend: after each
         delta publish (:meth:`~repro.core.cache.GraphCache.seal_delta_storage`),
@@ -149,6 +156,7 @@ class GraphCacheConfig:
     maintenance_mode: str = "sync"
     packed_match: str = "auto"
     journal_path: Optional[str] = None
+    journal_fsync: bool = False
     compaction_threshold: Optional[float] = None
 
     def __post_init__(self) -> None:

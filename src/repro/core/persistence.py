@@ -9,12 +9,14 @@ answer sets, their statistics, the in-flight window and the configuration are
 written to a single JSON snapshot; loading the snapshot restores a warm cache
 in front of the same (re-built) Method M.
 
-Snapshot format v3 (this module writes v3 and migrates v1/v2 on read):
+Snapshot format v4 (this module writes v4 and reads v1–v4):
 
 * one **sub-snapshot per shard** — a plain cache is a one-shard snapshot —
   each carrying its cached entries (+ per-query statistics), its current
-  window entries (+ statistics), its serial counter and its **maintenance
-  state**;
+  window entries (+ statistics), its serial counter, its **maintenance
+  state** and (new in v4) its **journal round watermark** — the highest
+  :class:`~repro.core.policies.journal.PlanJournal` round already folded
+  into the snapshot, which is what :func:`recover_cache` replays past;
 * ``next_serial`` is the shard's actual serial counter, *not* its
   ``queries_processed`` count (v1 derived one from the other, which drifts
   as soon as window queries hold serials — the v1 migration compensates by
@@ -35,29 +37,38 @@ Restores go through the public :meth:`GraphCache.restore` API — persistence
 never reaches into private stores — so the entries land in whatever storage
 backend the configuration selects (in-memory or SQLite) and GCindex is
 rebuilt through the same code path the engine's delta apply uses.
+
+Snapshots are published atomically (tempfile + ``os.replace``), so a crash
+mid-save leaves the previous checkpoint intact — the invariant that makes
+``checkpoint + journal replay`` (:func:`recover_cache`) a safe recovery
+story: the journal is append-only with a torn-tail-tolerant decoder, and the
+checkpoint is either the old complete one or the new complete one.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import warnings
 from dataclasses import asdict
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 from ..exceptions import CacheError
 from ..methods.base import Method
 from .cache import GraphCache
 from .config import GraphCacheConfig
+from .policies import PlanJournal
 from .sharding import ShardedGraphCache
 from .statistics import CachedQueryStats
 from .stores import CacheEntryCodec, WindowEntryCodec
 
-__all__ = ["save_cache", "load_cache"]
+__all__ = ["save_cache", "load_cache", "recover_cache"]
 
 PathLike = Union[str, Path]
 
-_FORMAT_VERSION = 3
+_FORMAT_VERSION = 4
 
 
 def _shard_payload(shard: GraphCache) -> Dict[str, Any]:
@@ -82,13 +93,24 @@ def _shard_payload(shard: GraphCache) -> Dict[str, Any]:
         "entries": [with_stats(CacheEntryCodec.encode(e)) for e in entries],
         "window": [with_stats(WindowEntryCodec.encode(e)) for e in window_entries],
         "maintenance": maintenance,
+        # The journal round watermark: every round <= this is folded into
+        # the entries/stats above (snapshot_state drains pending rounds
+        # first, so the journal cannot be mid-round here).  recover_cache
+        # replays strictly past it.
+        "journal_round": shard.plan_journal.last_round,
     }
 
 
 def save_cache(
     cache: Union[GraphCache, ShardedGraphCache], path: PathLike
 ) -> None:
-    """Write a warm-cache snapshot of ``cache`` to ``path`` (JSON, format v3)."""
+    """Write a warm-cache snapshot of ``cache`` to ``path`` (JSON, format v4).
+
+    The snapshot is published atomically: the payload is written to a
+    tempfile in the target directory, fsync'd, and moved over ``path`` with
+    ``os.replace`` — a crash mid-save leaves the previous checkpoint (if
+    any) intact, never a torn file.
+    """
     shards = cache.shards if isinstance(cache, ShardedGraphCache) else (cache,)
     payload = {
         "format_version": _FORMAT_VERSION,
@@ -98,7 +120,19 @@ def save_cache(
         "dataset_size": len(cache.method.dataset),
         "shards": [_shard_payload(shard) for shard in shards],
     }
-    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent) or ".", prefix=target.name + ".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, indent=2))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        Path(tmp_name).unlink(missing_ok=True)
+        raise
 
 
 def _migrate_v1(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -153,7 +187,11 @@ def _restore_shard(shard: GraphCache, payload: Dict[str, Any]) -> None:
 def load_cache(
     path: PathLike, method: Method
 ) -> Union[GraphCache, ShardedGraphCache]:
-    """Restore a warm cache over ``method`` from a snapshot (v1, v2 or v3).
+    """Restore a warm cache over ``method`` from a snapshot (v1 through v4).
+
+    v3 snapshots load silently — they only lack the journal round
+    watermark, which plain loads never read (:func:`recover_cache` is the
+    API that needs it and rejects pre-v4 snapshots explicitly).
 
     Returns a plain :class:`GraphCache` for single-shard snapshots and a
     :class:`ShardedGraphCache` for multi-shard ones.  The snapshot must have
@@ -163,7 +201,7 @@ def load_cache(
     """
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     version = payload.get("format_version")
-    if version not in (1, 2, _FORMAT_VERSION):
+    if version not in (1, 2, 3, _FORMAT_VERSION):
         raise CacheError(f"unsupported cache snapshot version {version!r}")
     if version in (1, 2):
         # Pre-v3 snapshots carry no maintenance record: the admission
@@ -209,4 +247,83 @@ def load_cache(
 
     cache = GraphCache(method, config)
     _restore_shard(cache, shard_payloads[0])
+    return cache
+
+
+def recover_cache(
+    path: PathLike,
+    method: Method,
+    journal: Optional[PathLike] = None,
+) -> Union[GraphCache, ShardedGraphCache]:
+    """Load a v4 checkpoint and replay journal rounds past its watermark.
+
+    The crash-recovery entry point: ``path`` is the last published
+    checkpoint and ``journal`` the (possibly crash-torn) plan journal the
+    writer was appending to.  Every journal frame with a round number
+    strictly greater than the checkpoint's per-shard ``journal_round``
+    watermark is replayed through :meth:`GraphCache.replay_plan` — the
+    same delta machinery replicas use — reproducing the uninterrupted
+    run's state byte-for-byte (entries, statistics, serial counter) up to
+    the last fully journaled round.  A torn final line (the append the
+    crash interrupted) is tolerated and ignored.
+
+    ``journal=None`` replays from each shard's configured
+    ``journal_path``; an explicit path is used directly (for sharded
+    snapshots it is treated as the base path and per-shard files are
+    derived from it, exactly as ``config.journal_path`` is).  A missing
+    journal file simply means there is nothing past the checkpoint.
+
+    A snapshot taken mid-window persists the hit events already absorbed
+    since the last round (the engine's pending-hit buffer); the first
+    replayed frame contains those events as its prefix, so recovery skips
+    exactly that many and never double-counts a hit.
+    """
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise CacheError(
+            f"recovery needs a v{_FORMAT_VERSION} snapshot carrying journal "
+            f"round watermarks; {Path(path)} is v{version!r} — load it with "
+            f"load_cache and re-save to upgrade"
+        )
+    # Imported here: replication builds on cache/sharding like this module
+    # does, and the frame codec is the single place journal records are
+    # decoded for replay.
+    from .replication import ReplicationFrame
+
+    cache = load_cache(path, method)
+    shards = cache.shards if isinstance(cache, ShardedGraphCache) else (cache,)
+    for index, (shard, sub) in enumerate(
+        zip(shards, payload["shards"], strict=True)
+    ):
+        watermark = int(sub.get("journal_round", 0))
+        if journal is not None:
+            journal_path = (
+                Path(ShardedGraphCache._shard_path(str(journal), index))
+                if len(shards) > 1
+                else Path(journal)
+            )
+        else:
+            journal_path = (
+                None
+                if shard.config.journal_path is None
+                else Path(shard.config.journal_path)
+            )
+        if journal_path is None or not journal_path.exists():
+            continue
+        records = PlanJournal.read_records(journal_path, since_round=watermark + 1)
+        # Hits absorbed between the watermark round and the snapshot are
+        # already in the restored statistics; they are the prefix of the
+        # first replayed frame.
+        skip_hits = len(shard.maintenance_engine.take_pending_hits())
+        for record in records:
+            frame = ReplicationFrame.from_record(record)
+            hits = frame.hits[skip_hits:] if skip_hits else frame.hits
+            skip_hits = 0
+            shard.replay_plan(
+                frame.plan,
+                frame.entries,
+                hits=hits,
+                frame_bytes=frame.size_bytes,
+            )
     return cache

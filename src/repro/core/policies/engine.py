@@ -31,7 +31,7 @@ import threading
 from contextlib import nullcontext
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..statistics import StatisticsManager
+from ..statistics import CachedQueryStats, StatisticsManager
 from ..stores import CacheEntry, CacheStore, WindowEntry
 from .adaptive import AdaptiveAdmissionController
 from .admission import AdmissionController
@@ -88,6 +88,12 @@ class MaintenanceEngine:
         # admission controller's hill climb (persisted in the state record
         # so a mid-window snapshot does not lose the partial window).
         self._window_cost_saving = 0.0
+        # Hit events observed since the last round, in order.  Each round
+        # drains this buffer into its journal frame, so a replica (or crash
+        # recovery) can replay the exact statistics/heap evolution.
+        # Persisted in the state record: a mid-window snapshot's pending
+        # hits are exactly the prefix of the next frame already absorbed.
+        self._hit_events: List[Tuple[int, int, float, float, bool]] = []
         self.cross_check = cross_check
         #: ``(current_serial, heap_victims, oracle_victims)`` triples for
         #: every cross-checked round that diverged (empty = proven identical).
@@ -249,8 +255,9 @@ class MaintenanceEngine:
         window_entries: Sequence[WindowEntry],
         current_serial: int,
         lock: Optional[threading.RLock] = None,
-    ) -> Tuple[MaintenancePlan, int, int]:
-        """Decide and apply one round; returns the plan and the apply ops.
+    ) -> Tuple[MaintenancePlan, int, int, Tuple[Tuple[int, int, float, float, bool], ...]]:
+        """Decide and apply one round; returns the plan, the apply ops and
+        the hit events the round consumed.
 
         An adaptive admission controller also receives the window's average
         per-query estimated cost saving (accumulated by :meth:`on_hit`) as
@@ -258,7 +265,13 @@ class MaintenanceEngine:
         threshold live instead of waiting for an external monitoring loop.
         ``lock`` is threaded through to :meth:`apply` (and guards the
         adaptive feedback, which reads the hit-accumulated saving).
+
+        The returned hit events are the buffered :meth:`on_hit` calls since
+        the previous round — the scheduler journals them with the plan so
+        the round is a complete replayable frame.
         """
+        with lock if lock is not None else nullcontext():  # repro: lock[gc]
+            hit_events, self._hit_events = self._hit_events, []
         plan = self.decide(window_entries, current_serial)
         index_ops, backend_row_ops = self.apply(plan, window_entries, lock=lock)
         with lock if lock is not None else nullcontext():  # repro: lock[gc]
@@ -270,7 +283,78 @@ class MaintenanceEngine:
                     self._window_cost_saving / len(window_entries)
                 )
             self._window_cost_saving = 0.0
-        return plan, index_ops, backend_row_ops
+        return plan, index_ops, backend_row_ops, tuple(hit_events)
+
+    # ------------------------------------------------------------------ #
+    # Replay: journaled frame -> same deltas, no re-deciding.
+    # ------------------------------------------------------------------ #
+    def replay(
+        self,
+        plan: MaintenancePlan,
+        admitted_entries: Sequence[WindowEntry],
+        hits: Sequence[Tuple[int, int, float, float, bool]] = (),
+        lock: Optional[threading.RLock] = None,
+    ) -> Tuple[int, int]:
+        """Apply one journaled frame exactly as the primary applied it.
+
+        This is the **sanctioned delta path** for replicas and crash
+        recovery (analyzer rule REPRO008): the frame's hit events are
+        applied to the statistics store and the utility heap in their
+        original order, the admitted entries are registered with the same
+        statistics rows :class:`~repro.core.policies.window.WindowManager`
+        created on the primary, and the plan then goes through the ordinary
+        :meth:`apply` delta machinery.  Nothing is re-decided, and the
+        admission controller's calibration is untouched (it resumes from
+        the snapshot's persisted state).
+
+        The frame's hits can only reference serials that were cached before
+        the round (window entries are never in the GCindex), so replay
+        order — hits, then registrations, then apply — reproduces the
+        primary's interleaved order byte-for-byte at the round boundary.
+        """
+        with lock if lock is not None else nullcontext():  # repro: lock[gc]
+            for serial, benefiting, cs_reduction, cost_reduction, special in hits:
+                self._statistics.record_hit(
+                    serial=serial,
+                    benefiting_serial=benefiting,
+                    cs_reduction=cs_reduction,
+                    cost_reduction=cost_reduction,
+                    special=special,
+                )
+                self._heap.record_hit(
+                    serial=serial,
+                    benefiting_serial=benefiting,
+                    cs_reduction=cs_reduction,
+                    cost_reduction=cost_reduction,
+                    special=special,
+                )
+            for entry in admitted_entries:
+                self._statistics.register_query(
+                    CachedQueryStats(
+                        serial=entry.serial,
+                        order=entry.query.order,
+                        size=entry.query.size,
+                        distinct_labels=len(entry.query.distinct_labels()),
+                        filter_time_s=entry.filter_time_s,
+                        verify_time_s=entry.verify_time_s,
+                    )
+                )
+        ops = self.apply(plan, admitted_entries, lock=lock)
+        with lock if lock is not None else nullcontext():  # repro: lock[gc]
+            # Mirror run(): the primary reset its window saving when this
+            # round executed, so a replayed boundary matches it exactly.
+            self._window_cost_saving = 0.0
+        return ops
+
+    def take_pending_hits(self) -> List[Tuple[int, int, float, float, bool]]:
+        """Drain the pending hit buffer (recovery consumes it once).
+
+        A snapshot taken mid-window persists the hits already absorbed
+        since the last round; the first replayed frame contains those same
+        events as its prefix, so recovery skips exactly this many.
+        """
+        pending, self._hit_events = self._hit_events, []
+        return pending
 
     # ------------------------------------------------------------------ #
     # Statistics-monitor hook (the per-hit incremental update).
@@ -299,6 +383,9 @@ class MaintenanceEngine:
             special=special,
         )
         self._window_cost_saving += cost_reduction
+        self._hit_events.append(
+            (serial, benefiting_serial, cs_reduction, cost_reduction, special)
+        )
 
     def rebuild_scores(self) -> None:
         """Re-seed the utility heap from the statistics store.
@@ -326,6 +413,7 @@ class MaintenanceEngine:
             "admission": self._admission.state_record(),
             "policy": {"name": self._policy.name},
             "window_cost_saving": self._window_cost_saving,
+            "pending_hits": [list(event) for event in self._hit_events],
         }
 
     def restore_state(self, record: Optional[Dict[str, Any]]) -> None:
@@ -336,3 +424,7 @@ class MaintenanceEngine:
         if admission_record:
             self._admission = admission_from_record(admission_record)
         self._window_cost_saving = float(record.get("window_cost_saving", 0.0))
+        self._hit_events = [
+            (int(s), int(b), float(cs), float(cost), bool(special))
+            for s, b, cs, cost, special in record.get("pending_hits", [])
+        ]

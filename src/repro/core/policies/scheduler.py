@@ -167,7 +167,7 @@ class MaintenanceScheduler:
     ) -> MaintenanceReport:
         """Run decide+apply for one drained window and record everything."""
         started = time.perf_counter()
-        plan, index_ops, backend_row_ops = self._engine.run(
+        plan, index_ops, backend_row_ops, hit_events = self._engine.run(
             window_entries, current_serial, lock=self._round_lock()
         )
         elapsed = time.perf_counter() - started
@@ -182,7 +182,17 @@ class MaintenanceScheduler:
             backend_row_ops=backend_row_ops,
             plan=plan,
         )
-        self._journal.append(plan)
+        # Journal the round as a complete replayable frame: the plan, the
+        # admitted window entries (the rows a replica must install) and the
+        # hit events the round consumed.
+        by_serial = {entry.serial: entry for entry in window_entries}
+        self._journal.append(
+            plan,
+            admitted_entries=tuple(
+                by_serial[serial] for serial in plan.admitted_serials
+            ),
+            hits=hit_events,
+        )
         with self._state_lock:
             self._reports.append(report)
             self._total_maintenance_s += elapsed

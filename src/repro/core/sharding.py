@@ -182,6 +182,16 @@ class ShardedGraphCache:
         """Convenience wrapper returning only the answer set."""
         return self.query(query).answer_ids
 
+    def lookup(self, query: Graph) -> FrozenSet[int]:
+        """Answer a query read-only through its shard (replica serving path).
+
+        Routes like :meth:`query` but delegates to
+        :meth:`GraphCache.lookup`: no serial is assigned, nothing joins the
+        window and no statistics move — the sharded twin of the replica
+        read path.
+        """
+        return self.shard_for(query).lookup(query)
+
     # ------------------------------------------------------------------ #
     @property
     def runtime_statistics(self) -> CacheRuntimeStatistics:

@@ -62,7 +62,24 @@ from .packed_dataset import PackedGraphDataset, seal_dataset
 from .query_index import QueryGraphIndex
 from .sharding import ShardedGraphCache, stable_feature_hash
 
-__all__ = ["ProcessPoolCacheService"]
+__all__ = ["ProcessPoolCacheService", "fork_context"]
+
+
+def fork_context() -> multiprocessing.context.BaseContext:
+    """The ``fork`` multiprocessing context, or a :class:`CacheError`.
+
+    Fork-after-seal is the only start method the process-level services
+    support (workers inherit the Method and sealed arena paths through the
+    copy-on-write image, never through pickling).  Centralised here so the
+    worker pool and the replication fan-out raise the same guidance on
+    platforms without ``fork``.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise CacheError(
+            "this service requires the fork start method (POSIX); "
+            "use the thread-based equivalent on this platform"
+        )
+    return multiprocessing.get_context("fork")
 
 
 def _shard_config(config: GraphCacheConfig, shard: int, shards: int) -> GraphCacheConfig:
@@ -218,11 +235,7 @@ class ProcessPoolCacheService:
     ) -> None:
         if workers < 1:
             raise CacheError("ProcessPoolCacheService needs at least one worker")
-        if "fork" not in multiprocessing.get_all_start_methods():
-            raise CacheError(
-                "ProcessPoolCacheService requires the fork start method "
-                "(POSIX); use ShardedGraphCache on this platform"
-            )
+        fork_context()  # fail fast on platforms without fork
         base = config or GraphCacheConfig()
         self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
         backend_path = base.backend_path
@@ -332,7 +345,7 @@ class ProcessPoolCacheService:
                 # FTV subclasses without seal support) serve from their
                 # in-process index as before.
                 self._ftv_index_path = None
-        context = multiprocessing.get_context("fork")
+        context = fork_context()
         for worker in range(self._workers):
             owned = tuple(
                 shard

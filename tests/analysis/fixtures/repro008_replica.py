@@ -1,0 +1,23 @@
+"""Golden fixture: exactly one REPRO008 mutation on a replica apply path.
+
+The mutation hides behind a helper call, exercising the reachability
+traversal (apply_frame -> _install -> CacheStore.add) — a replica writing
+to a store directly instead of replaying the frame through the sanctioned
+delta machinery.
+"""
+
+
+class CacheStore:
+    def add(self, entry) -> None:
+        pass
+
+
+class BadReplica:
+    def __init__(self, store: CacheStore) -> None:
+        self._store = store
+
+    def apply_frame(self, shard: int, frame) -> None:
+        self._install(frame)
+
+    def _install(self, frame) -> None:
+        self._store.add(frame)

@@ -35,6 +35,7 @@ class TestGoldenFixtures:
             ("repro006_store.py", "REPRO006", "store lock"),
             ("repro007_packed.py", "REPRO007", "PackedGraph"),
             ("repro007_view.py", "REPRO007", "PackedGraph"),
+            ("repro008_replica.py", "REPRO008", "delta path"),
         ],
     )
     def test_exactly_one_finding(self, fixture, rule, needle):
@@ -54,6 +55,11 @@ class TestGoldenFixtures:
     def test_decide_finding_names_the_call_path(self):
         (finding,) = findings_of("repro003_decide.py")
         assert "UtilityHeap.remove" in finding.message
+
+    def test_replica_finding_names_the_call_path(self):
+        (finding,) = findings_of("repro008_replica.py")
+        assert "CacheStore.add" in finding.message
+        assert "_install" in finding.message
 
 
 class TestSuppressions:

@@ -488,10 +488,10 @@ class TestAdaptiveFeedbackLoop:
 
         fresh, _, _, _ = self.make_adaptive_engine()
         fresh.restore_state(record)
-        fresh_plan, _, _ = fresh.run(
+        fresh_plan, _, _, _ = fresh.run(
             [window_entry(i, verify=1.0) for i in (5, 6, 7, 8)], 8
         )
-        engine_plan, _, _ = engine.run(
+        engine_plan, _, _, _ = engine.run(
             [window_entry(i, verify=1.0) for i in (5, 6, 7, 8)], 8
         )
         # Same admission decisions at decide time, and — because the pending

@@ -505,7 +505,7 @@ class TestValidation:
         cache, method, _ = warm_cache
         path = tmp_path / "cache.json"
         save_cache(cache, path)
-        text = path.read_text().replace('"format_version": 3', '"format_version": 99')
+        text = path.read_text().replace('"format_version": 4', '"format_version": 99')
         path.write_text(text)
         with pytest.raises(CacheError):
             load_cache(path, method)
